@@ -1,0 +1,38 @@
+"""Benchmark harness: one pytest-benchmark target per table/figure.
+
+Each benchmark runs the corresponding experiment driver once (the
+drivers are deterministic full simulations — repeating them measures
+the same events), records the wall time via pytest-benchmark, prints
+the regenerated table, and asserts the paper's shape criteria.
+
+Environment:
+
+- ``REPRO_BENCH_SCALE``: problem-size multiplier (default: each
+  experiment's own default; smaller is faster).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import get_experiment
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment under pytest-benchmark and shape-check it."""
+
+    def runner(exp_id: str):
+        experiment = get_experiment(exp_id)
+        scale = float(SCALE) if SCALE else None
+        result = benchmark.pedantic(
+            lambda: experiment.run_checked(scale), rounds=1, iterations=1
+        )
+        print()
+        print(result.to_text())
+        assert result.ok, "shape mismatches: " + "; ".join(result.failures)
+        return result
+
+    return runner

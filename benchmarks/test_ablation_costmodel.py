@@ -1,0 +1,6 @@
+"""Benchmark: regenerate calibration notes."""
+
+
+def test_ablation_costmodel(run_experiment):
+    """Regenerates cost-model variant ablation (calibration notes)."""
+    run_experiment("ablation_costmodel")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate beyond the paper."""
+
+
+def test_ablation_policy(run_experiment):
+    """Regenerates admission-policy ablation (beyond the paper)."""
+    run_experiment("ablation_policy")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate §III.F."""
+
+
+def test_ablation_rebuilder(run_experiment):
+    """Regenerates rebuilder-priority ablation (§III.F)."""
+    run_experiment("ablation_rebuilder")

@@ -1,0 +1,6 @@
+"""Benchmark: S4D-Cache vs CARL placement (paper ref [26], §II.C)."""
+
+
+def test_ext_carl(run_experiment):
+    """Static placement vs cache: stable and shifted patterns."""
+    run_experiment("ext_carl")

@@ -1,0 +1,6 @@
+"""Benchmark: the §II.B memory-cache integration extension."""
+
+
+def test_ext_memcache(run_experiment):
+    """RAM tier stacked on stock vs S4D (the paper's future work)."""
+    run_experiment("ext_memcache")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 10a."""
+
+
+def test_fig10a(run_experiment):
+    """Regenerates MPI-Tile-IO write throughput vs processes (Fig. 10a)."""
+    run_experiment("fig10a")
+
+
+def test_fig10b(run_experiment):
+    """Regenerates MPI-Tile-IO read throughput vs processes (Fig. 10b)."""
+    run_experiment("fig10b")

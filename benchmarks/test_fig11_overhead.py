@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Fig. 11."""
+
+
+def test_fig11(run_experiment):
+    """Regenerates middleware overhead with an all-miss cache (Fig. 11)."""
+    run_experiment("fig11")

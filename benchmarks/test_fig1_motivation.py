@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Fig. 1."""
+
+
+def test_fig1(run_experiment):
+    """Regenerates IOR sequential vs random reads on the stock system (Fig. 1)."""
+    run_experiment("fig1")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 6a."""
+
+
+def test_fig6a(run_experiment):
+    """Regenerates IOR write throughput vs request size, stock vs S4D (Fig. 6a)."""
+    run_experiment("fig6a")
+
+
+def test_fig6b(run_experiment):
+    """Regenerates IOR read throughput vs request size, 2nd run (Fig. 6b)."""
+    run_experiment("fig6b")

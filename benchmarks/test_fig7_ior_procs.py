@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 7a."""
+
+
+def test_fig7a(run_experiment):
+    """Regenerates IOR write throughput vs process count (Fig. 7a)."""
+    run_experiment("fig7a")
+
+
+def test_fig7b(run_experiment):
+    """Regenerates IOR read throughput vs process count (Fig. 7b)."""
+    run_experiment("fig7b")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 8a."""
+
+
+def test_fig8a(run_experiment):
+    """Regenerates write throughput vs number of CServers (Fig. 8a)."""
+    run_experiment("fig8a")
+
+
+def test_fig8b(run_experiment):
+    """Regenerates read throughput vs number of CServers (Fig. 8b)."""
+    run_experiment("fig8b")

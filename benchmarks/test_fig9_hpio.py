@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 9a."""
+
+
+def test_fig9a(run_experiment):
+    """Regenerates HPIO write throughput vs region spacing (Fig. 9a)."""
+    run_experiment("fig9a")
+
+
+def test_fig9b(run_experiment):
+    """Regenerates HPIO read throughput vs region spacing (Fig. 9b)."""
+    run_experiment("fig9b")

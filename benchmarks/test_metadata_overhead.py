@@ -1,0 +1,6 @@
+"""Benchmark: regenerate §V.E.1."""
+
+
+def test_metadata(run_experiment):
+    """Regenerates DMT metadata space overhead (§V.E.1)."""
+    run_experiment("metadata")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table III."""
+
+
+def test_table3(run_experiment):
+    """Regenerates DServer/CServer request distribution (Table III)."""
+    run_experiment("table3")

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table IV."""
+
+
+def test_table4(run_experiment):
+    """Regenerates write throughput vs cache capacity (Table IV)."""
+    run_experiment("table4")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Explore the data-access cost model (§III.B, Eq. 1-8).
+
+Profiles the simulated testbed exactly the way the paper profiles its
+hardware, then prints the modelled DServer/CServer costs and the
+benefit B across request sizes and randomness — including the
+crossover size where the selective policy stops admitting requests.
+
+Run:  python examples/cost_model_explorer.py
+"""
+
+from repro.cluster import ClusterSpec, calibrate_cost_params
+from repro.core import CostModel
+from repro.units import KiB, MiB, fmt_size
+
+FAR = 1 << 40  # a random request's distance (saturates the seek curve)
+
+
+def main() -> None:
+    spec = ClusterSpec.paper_testbed()
+    print("profiling the simulated stack (the paper's offline step) ...")
+    params = calibrate_cost_params(spec)
+    model = CostModel(params)
+
+    print()
+    print("measured cost-model parameters (Table I):")
+    print(f"  M (DServers) = {params.num_dservers}, "
+          f"N (CServers) = {params.num_cservers}")
+    print(f"  stripe = {fmt_size(params.d_stripe)}")
+    print(f"  R (avg rotation) = {params.avg_rotation * 1e3:.2f} ms")
+    print(f"  S (max seek)     = {params.max_seek * 1e3:.2f} ms")
+    print(f"  beta_D (write)   = {params.beta_d_write * MiB * 1e3:.2f} ms/MiB"
+          f"  ({1 / params.beta_d_write / MiB:.1f} MiB/s end-to-end)")
+    print(f"  beta_C (write)   = {params.beta_c_write * MiB * 1e3:.2f} ms/MiB"
+          f"  ({1 / params.beta_c_write / MiB:.1f} MiB/s end-to-end)")
+
+    print()
+    header = (f"{'request':>10}{'T_D rand':>10}{'T_D seq':>10}"
+              f"{'T_C':>10}{'B rand':>10}{'B seq':>10}")
+    print(header + "   (ms, writes)")
+    sizes = [4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB,
+             MiB, 4 * MiB, 16 * MiB]
+    for size in sizes:
+        t_d_rand = model.cost_dservers("write", 0, size, FAR) * 1e3
+        t_d_seq = model.cost_dservers("write", 0, size, 0) * 1e3
+        t_c = model.cost_cservers("write", size) * 1e3
+        b_rand = t_d_rand - t_c
+        b_seq = t_d_seq - t_c
+        marker = "  <- critical" if b_rand > 0 else "  <- stays on DServers"
+        print(f"{fmt_size(size):>10}{t_d_rand:>10.2f}{t_d_seq:>10.2f}"
+              f"{t_c:>10.2f}{b_rand:>+10.2f}{b_seq:>+10.2f}{marker}")
+
+    print()
+    for op in ("write", "read"):
+        crossover = model.crossover_size(op, FAR)
+        if crossover is None:
+            print(f"{op}: benefit positive at every size")
+        else:
+            print(f"{op}: benefit crosses zero at ~{fmt_size(crossover)} "
+                  "(the paper's Table III boundary: 16KB cached, "
+                  "4096KB not)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: overlapping tile I/O with computation via file views.
+
+A solver writes a 2D tiled dataset every iteration.  With MPI-IO file
+views each rank addresses its tile as a contiguous stream, and with
+nonblocking writes (MPI_File_iwrite_at) the tile flush overlaps the
+next compute step.  S4D-Cache sits underneath unchanged — the same
+request stream reaches the middleware either way.
+
+Run:  python examples/nonblocking_tiles.py
+"""
+
+from repro.cluster import ClusterSpec, build_cluster
+from repro.mpiio import FileView, MPIJob, ViewedFile, iwrite_at, waitall
+from repro.units import KiB, MiB
+
+PROCESSES = 4
+TILE_ROWS = 8
+ROW_BYTES = 128 * KiB
+COMPUTE_TIME = 20e-3  # per iteration, per rank
+ITERATIONS = 4
+
+
+def tile_view(rank: int) -> FileView:
+    """Rank's tile: one row of ROW_BYTES every PROCESSES rows."""
+    return FileView.strided(
+        displacement=rank * ROW_BYTES,
+        block=ROW_BYTES,
+        stride=PROCESSES * ROW_BYTES,
+    )
+
+
+def run(overlap: bool) -> float:
+    spec = ClusterSpec.paper_testbed(num_nodes=PROCESSES)
+    cluster = build_cluster(spec, s4d=True, cache_capacity=16 * MiB)
+    sim = cluster.sim
+
+    def body(ctx):
+        f = yield from ctx.open("/frames", 64 * MiB)
+        viewed = ViewedFile(f, tile_view(ctx.rank))
+        pending = []
+        for _ in range(ITERATIONS):
+            yield ctx.sim.timeout(COMPUTE_TIME)  # the "solver"
+            if overlap:
+                # Kick off the tile's rows without waiting.
+                offset = viewed.position
+                for row in range(TILE_ROWS):
+                    file_segs = viewed.view.map_range(
+                        offset + row * ROW_BYTES, ROW_BYTES
+                    )
+                    for seg_off, seg_len in file_segs:
+                        pending.append(iwrite_at(f, seg_off, seg_len))
+                viewed.position += TILE_ROWS * ROW_BYTES
+            else:
+                yield from viewed.write(TILE_ROWS * ROW_BYTES)
+        if pending:
+            yield from waitall(pending)
+
+    stats = MPIJob(sim, cluster.layer, PROCESSES).run(body)
+    return MPIJob.makespan(stats)
+
+
+def main() -> None:
+    blocking = run(overlap=False)
+    nonblocking = run(overlap=True)
+    print(f"{ITERATIONS} iterations x {PROCESSES} ranks x "
+          f"{TILE_ROWS * ROW_BYTES // 1024} KB tiles")
+    print(f"blocking writes:    {blocking * 1e3:8.1f} ms")
+    print(f"nonblocking writes: {nonblocking * 1e3:8.1f} ms "
+          f"({(1 - nonblocking / blocking) * 100:.0f}% faster)")
+    print()
+    print("The nonblocking variant hides the tile flush behind the next")
+    print("compute step; the S4D middleware sees the identical request")
+    print("stream and still redirects the strided rows it values.")
+
+
+if __name__ == "__main__":
+    main()

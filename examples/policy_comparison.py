@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Ablation walk-through: why *selective* admission matters.
+
+The paper's key design point is that the SSD cache admits data by the
+cost model's benefit (Eq. 8), not by locality.  This example runs the
+same mixed IOR campaign under four admission policies:
+
+- ``never``      — stock behaviour (plus middleware overhead);
+- ``always``     — a conventional cache: admit everything on touch;
+- ``size:64KB``  — a naive heuristic: admit anything small;
+- ``selective``  — the paper's benefit-driven policy.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.cluster import ClusterSpec, run_workload
+from repro.units import MiB
+from repro.workloads import IORWorkload
+
+POLICIES = ["never", "always", "size:64KB", "selective"]
+
+
+def main() -> None:
+    spec = ClusterSpec.paper_testbed(num_nodes=8)
+    # Mixed request sizes are where the policies separate: the large
+    # sequential instances are exactly the data a locality cache
+    # ("always") wastes its space on.
+    instances = [
+        IORWorkload(8, "16KB", "2GB", pattern="random", seed=1,
+                    requests_per_rank=96, path="/random-a.dat"),
+        IORWorkload(8, "6MB", "2GB", pattern="sequential", seed=2,
+                    requests_per_rank=6, path="/stream-a.dat"),
+        IORWorkload(8, "16KB", "2GB", pattern="random", seed=3,
+                    requests_per_rank=96, path="/random-b.dat"),
+        IORWorkload(8, "6MB", "2GB", pattern="sequential", seed=4,
+                    requests_per_rank=6, path="/stream-b.dat"),
+    ]
+
+    print("running the 4-instance mixed campaign under each policy ...")
+    stock = run_workload(spec, instances, s4d=False, phases=("write",))
+    base = stock.write_bandwidth
+
+    print()
+    print(f"{'policy':<12}{'write MB/s':>12}{'vs stock':>10}"
+          f"{'->CServers':>12}{'evictions':>11}")
+    print(f"{'(stock)':<12}{base / MiB:>12.2f}{'—':>10}{'—':>12}{'—':>11}")
+    for policy in POLICIES:
+        result = run_workload(
+            spec, instances, s4d=True, policy=policy, phases=("write",)
+        )
+        metrics = result.metrics
+        _, c_pct = metrics.request_distribution()
+        gain = (result.write_bandwidth / base - 1) * 100
+        evictions = result.cluster.middleware.space.evictions
+        print(f"{policy:<12}{result.write_bandwidth / MiB:>12.2f}"
+              f"{gain:>+9.1f}%{c_pct:>11.1f}%{evictions:>11}")
+
+    print()
+    print("'always' floods the CServers with the 6MB streams (note the")
+    print("evictions), displacing the random data the SSDs exist for.")
+    print("The size heuristic happens to match here, but the cost model")
+    print("generalises: its crossover moves with server counts, stripe")
+    print("sizes and device speeds, where a fixed threshold goes stale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: stock PVFS2-like I/O system vs S4D-Cache.
+
+Builds the paper's testbed (8 HDD DServers, 4 SSD CServers, 32 compute
+nodes on GigE), runs one random-offset IOR workload on both systems
+and prints write/read throughput plus the cache's routing statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import ClusterSpec, run_workload
+from repro.units import MiB
+from repro.workloads import IORWorkload
+
+
+def main() -> None:
+    # The §V.A testbed.  Everything (devices, network, PVFS2 striping,
+    # the cost model's profiled parameters) comes from this spec.
+    spec = ClusterSpec.paper_testbed(num_nodes=8)
+
+    # One IOR instance: 8 processes issuing 16KB random requests over
+    # a shared 2GB file (the paper's file size; requests_per_rank
+    # bounds simulation cost while keeping seek distances realistic).
+    workload = IORWorkload(
+        processes=8,
+        request_size="16KB",
+        file_size="2GB",
+        pattern="random",
+        requests_per_rank=256,
+        seed=7,
+    )
+
+    print("running stock I/O system ...")
+    stock = run_workload(spec, workload, s4d=False)
+
+    print("running S4D-Cache (selective policy, cache = 20% of data) ...")
+    s4d = run_workload(spec, workload, s4d=True)
+
+    def mb(x: float) -> str:
+        return f"{x / MiB:7.2f} MB/s"
+
+    print()
+    print(f"{'':14}{'write':>14}{'read (2nd run)':>18}")
+    print(f"{'stock':14}{mb(stock.write_bandwidth):>14}"
+          f"{mb(stock.read_bandwidth):>18}")
+    print(f"{'S4D-Cache':14}{mb(s4d.write_bandwidth):>14}"
+          f"{mb(s4d.read_bandwidth):>18}")
+    w_gain = (s4d.write_bandwidth / stock.write_bandwidth - 1) * 100
+    r_gain = (s4d.read_bandwidth / stock.read_bandwidth - 1) * 100
+    print(f"{'improvement':14}{w_gain:>13.1f}%{r_gain:>17.1f}%")
+
+    metrics = s4d.metrics
+    d_pct, c_pct = metrics.request_distribution()
+    print()
+    print("S4D-Cache internals:")
+    print(f"  requests routed:   {d_pct:.1f}% DServers / {c_pct:.1f}% CServers")
+    print(f"  writes admitted:   {metrics.write_admitted}"
+          f"  (bounced for space: {metrics.write_bounced})")
+    print(f"  read hits/misses:  {metrics.read_hits}/{metrics.read_misses}")
+    print(f"  rebuilder flushes: {metrics.flushes}"
+          f"  fetches: {metrics.fetches}")
+
+
+if __name__ == "__main__":
+    main()

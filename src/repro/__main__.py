@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro compare --workload ior --pattern random \\
+        --request-size 16KB --processes 8
+    python -m repro calibrate
+    python -m repro replay mytrace.txt
+    python -m repro experiments --only fig6a   # forwards
+
+Everything the CLI does is also a two-liner against the library; the
+CLI exists so a reproduction reviewer can poke the system without
+writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .units import MiB, fmt_size
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dservers", type=int, default=8)
+    parser.add_argument("--cservers", type=int, default=4)
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="compute nodes (default: one per process)")
+    parser.add_argument("--policy", default="selective")
+    parser.add_argument("--cache-fraction", type=float, default=0.20)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _spec_from(args, processes: int):
+    from .cluster import ClusterSpec
+
+    return ClusterSpec(
+        num_dservers=args.dservers,
+        num_cservers=args.cservers,
+        num_nodes=args.nodes or min(processes, 32),
+        cache_fraction=args.cache_fraction,
+        policy=args.policy,
+        seed=args.seed,
+    )
+
+
+def _build_workload(args):
+    from .workloads import (
+        HPIOWorkload,
+        IORWorkload,
+        SyntheticMixWorkload,
+        TileIOWorkload,
+    )
+
+    if args.workload == "ior":
+        return IORWorkload(
+            args.processes, args.request_size, args.file_size,
+            pattern=args.pattern, seed=args.seed,
+            requests_per_rank=args.requests_per_rank,
+        )
+    if args.workload == "hpio":
+        return HPIOWorkload(
+            args.processes, region_count=args.requests_per_rank or 512,
+            region_size=args.request_size, region_spacing=args.spacing,
+            seed=args.seed,
+        )
+    if args.workload == "tileio":
+        return TileIOWorkload(
+            args.processes, element_size=args.request_size, seed=args.seed
+        )
+    return SyntheticMixWorkload(
+        args.processes, args.file_size, random_fraction=0.5,
+        random_request=args.request_size, seed=args.seed,
+    )
+
+
+def _print_comparison(stock, s4d) -> None:
+    def row(label, s, c):
+        gain = (c / s - 1) * 100 if s > 0 else 0.0
+        print(f"{label:<16}{s / MiB:>12.2f}{c / MiB:>12.2f}{gain:>+9.1f}%")
+
+    print(f"{'phase':<16}{'stock MB/s':>12}{'s4d MB/s':>12}{'gain':>10}")
+    row("write", stock.write_bandwidth, s4d.write_bandwidth)
+    row("read (2nd run)", stock.read_bandwidth, s4d.read_bandwidth)
+    metrics = s4d.metrics
+    d_pct, c_pct = metrics.request_distribution()
+    print()
+    print(f"S4D routing: {d_pct:.1f}% DServers / {c_pct:.1f}% CServers; "
+          f"admitted {metrics.write_admitted}, "
+          f"bounced {metrics.write_bounced}, "
+          f"hits {metrics.read_hits + metrics.write_hits}")
+
+
+def cmd_compare(args) -> int:
+    from .cluster import run_workload
+
+    workload = _build_workload(args)
+    spec = _spec_from(args, workload.processes)
+    print(f"workload: {workload!r}")
+    print("running stock system ...")
+    stock = run_workload(spec, workload, s4d=False)
+    print("running S4D-Cache ...")
+    s4d = run_workload(spec, workload, s4d=True)
+    _print_comparison(stock, s4d)
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from .cluster import calibrate_cost_params
+    from .core import CostModel
+
+    spec = _spec_from(args, processes=8)
+    params = calibrate_cost_params(spec)
+    model = CostModel(params)
+    print("profiled cost-model parameters (Table I):")
+    print(f"  M={params.num_dservers}  N={params.num_cservers}  "
+          f"stripe={fmt_size(params.d_stripe)}")
+    print(f"  R={params.avg_rotation * 1e3:.2f}ms  "
+          f"S={params.max_seek * 1e3:.2f}ms")
+    for op in ("read", "write"):
+        print(f"  beta_D({op}) = {params.beta_d(op) * MiB * 1e3:.2f} ms/MiB; "
+              f"beta_C({op}) = {params.beta_c(op) * MiB * 1e3:.2f} ms/MiB")
+    far = 1 << 40
+    for op in ("read", "write"):
+        crossover = model.crossover_size(op, far)
+        text = fmt_size(crossover) if crossover else "none (SSD always wins)"
+        print(f"  benefit crossover ({op}): {text}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .cluster import run_workload
+    from .workloads import TraceWorkload
+
+    workload = TraceWorkload(args.trace)
+    spec = _spec_from(args, workload.processes)
+    print(f"replaying {len(workload.requests)} requests over "
+          f"{workload.processes} ranks")
+    stock = run_workload(spec, workload, s4d=False)
+    s4d = run_workload(spec, workload, s4d=True)
+    _print_comparison(stock, s4d)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "experiments":
+        from .experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="S4D-Cache reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="stock vs S4D on a workload")
+    compare.add_argument("--workload", default="ior",
+                         choices=["ior", "hpio", "tileio", "mix"])
+    compare.add_argument("--processes", type=int, default=8)
+    compare.add_argument("--request-size", default="16KB")
+    compare.add_argument("--file-size", default="2GB")
+    compare.add_argument("--pattern", default="random",
+                         choices=["sequential", "random"])
+    compare.add_argument("--requests-per-rank", type=int, default=128)
+    compare.add_argument("--spacing", default="4KB",
+                         help="HPIO region spacing")
+    _add_cluster_args(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="profile the stack, print cost-model parameters"
+    )
+    _add_cluster_args(calibrate)
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    replay = sub.add_parser("replay", help="replay a request trace")
+    replay.add_argument("trace", help="trace file (rank op offset size)")
+    _add_cluster_args(replay)
+    replay.set_defaults(func=cmd_replay)
+
+    sub.add_parser(
+        "experiments",
+        help="regenerate the paper's tables/figures "
+             "(python -m repro.experiments)",
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

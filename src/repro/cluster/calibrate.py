@@ -1,0 +1,135 @@
+"""Offline profiling of the full (simulated) I/O stack.
+
+§III.B derives the cost-model parameters from "an offline profiling of
+the HDD storage"; the betas in Table I are end-to-end per-unit costs
+through the real PVFS2/GigE deployment.  This module performs the same
+protocol against the simulated stack:
+
+- ``F(d)``, ``R``, ``S`` come from device-level HDD profiling
+  (:class:`~repro.devices.DeviceProfiler`);
+- ``beta_D`` is measured by *streaming* a large request train through
+  a one-client/one-DServer stack (HDD startup is modelled separately
+  by F/R/S, so the streaming cost is the right marginal);
+- ``beta_C`` is measured with *cache-granularity* probes (default
+  16 KB) through a one-client/one-CServer stack: the SSD cache exists
+  to serve small requests, so its per-unit cost must fold in the
+  per-operation latencies a small request actually pays (network
+  round-trip, server software, device latency).  Profiling beta_C from
+  large streams instead would wildly overestimate the SSD's usefulness
+  for large requests and make the selective policy admit everything —
+  see DESIGN.md's calibration notes.
+
+The result is cached per (spec, probe size) because profiling runs a
+few thousand simulated requests.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..core.cost_model import CostParams
+from ..devices import HDD, SSD, DeviceProfiler
+from ..network import Fabric
+from ..pfs import PFS, FileServer, PFSClient, PFSSpec
+from ..sim import Simulator
+from ..units import KiB, MiB
+from .spec import ClusterSpec
+
+
+def calibrate_cost_params(
+    spec: ClusterSpec, probe_size: int = 16 * KiB
+) -> CostParams:
+    """Profile the simulated stack described by ``spec``."""
+    return _calibrate_cached(spec, probe_size)
+
+
+@functools.lru_cache(maxsize=32)
+def _calibrate_cached(spec: ClusterSpec, probe_size: int) -> CostParams:
+    hdd_profile = _profile_hdd_device(spec)
+    beta_d_read, beta_d_write = _measure_stream_beta(spec, "hdd")
+    beta_c_read, beta_c_write = _measure_probe_beta(spec, "ssd", probe_size)
+    return CostParams(
+        num_dservers=spec.num_dservers,
+        num_cservers=max(spec.num_cservers, 1),
+        d_stripe=spec.d_stripe,
+        c_stripe=spec.c_stripe,
+        avg_rotation=hdd_profile.avg_rotation,
+        max_seek=hdd_profile.max_seek,
+        beta_d_read=beta_d_read,
+        beta_d_write=beta_d_write,
+        beta_c_read=beta_c_read,
+        beta_c_write=beta_c_write,
+        hdd_profile=hdd_profile,
+    )
+
+
+def _profile_hdd_device(spec: ClusterSpec):
+    sim = Simulator(seed=spec.seed)
+    profiler = DeviceProfiler(rng=sim.rng.stream("calibrate:hdd"))
+    return profiler.profile_hdd(HDD(spec.hdd))
+
+
+def _one_server_stack(spec: ClusterSpec, device_kind: str):
+    """A minimal client -> network -> server stack for measurement."""
+    sim = Simulator(seed=spec.seed)
+    fabric = Fabric(sim, spec.network)
+    if device_kind == "hdd":
+        device = HDD(spec.hdd)
+        stripe = spec.d_stripe
+    else:
+        device = SSD(spec.ssd)
+        stripe = spec.c_stripe
+    server = FileServer(sim, "probe-server", device, spec.server_overhead)
+    pfs = PFS(sim, "probe", [server], PFSSpec(stripe_size=stripe))
+    client = PFSClient(sim, pfs, fabric, "probe-client")
+    return sim, pfs, client
+
+
+def _measure_stream_beta(spec: ClusterSpec, device_kind: str):
+    """Marginal per-byte cost of a large sequential stream."""
+    chunk = 4 * MiB
+    reps = 8
+    betas = {}
+    for op in ("read", "write"):
+        sim, pfs, client = _one_server_stack(spec, device_kind)
+        handle = pfs.create("/probe", (reps + 2) * chunk)
+
+        def body():
+            # Warm-up positions the head; measure the steady tail.
+            yield from _io(client, op, handle, 0, chunk)
+            start = sim.now
+            for i in range(1, reps + 1):
+                yield from _io(client, op, handle, i * chunk, chunk)
+            return (sim.now - start) / (reps * chunk)
+
+        betas[op] = sim.run_process(body())
+    return betas["read"], betas["write"]
+
+
+def _measure_probe_beta(spec: ClusterSpec, device_kind: str, probe_size: int):
+    """Effective per-byte cost of cache-granularity requests."""
+    reps = 64
+    betas = {}
+    for op in ("read", "write"):
+        sim, pfs, client = _one_server_stack(spec, device_kind)
+        handle = pfs.create("/probe", (reps + 2) * probe_size)
+        rng = sim.rng.stream("calibrate:probe")
+        span = (reps + 1) * probe_size
+
+        def body():
+            start = sim.now
+            for _ in range(reps):
+                offset = rng.randrange(0, span // probe_size) * probe_size
+                yield from _io(client, op, handle, offset, probe_size)
+            return (sim.now - start) / (reps * probe_size)
+
+        betas[op] = sim.run_process(body())
+    return betas["read"], betas["write"]
+
+
+def _io(client, op, handle, offset, size):
+    if op == "read":
+        result = yield from client.read(handle, offset, size)
+    else:
+        result = yield from client.write(handle, offset, size)
+    return result

@@ -1,0 +1,59 @@
+"""The S4D-Cache contribution (§III-§IV of the paper).
+
+- :mod:`repro.core.cost_model` — the data access cost model (Eq. 1-8).
+- :mod:`repro.core.tables` — the Critical Data Table (CDT) and Data
+  Mapping Table (DMT), persisted through the kvstore.
+- :mod:`repro.core.space` — CServer cache space: free-list allocation
+  plus clean-extent LRU replacement.
+- :mod:`repro.core.identifier` — the Data Identifier component.
+- :mod:`repro.core.redirector` — the Redirector (Algorithm 1).
+- :mod:`repro.core.rebuilder` — the Rebuilder (background flush/fetch
+  with low-priority I/O).
+- :mod:`repro.core.policy` — admission policies (the paper's selective
+  policy plus baselines for ablation).
+- :mod:`repro.core.middleware` — the MPI-IO plug-in tying it together.
+"""
+
+from .carl import CARLPlacementLayer, RegionPlan, plan_placement
+from .cost_model import CostModel, CostParams
+from .identifier import DataIdentifier
+from .memcache import MemoryCacheLayer
+from .metrics import CacheMetrics
+from .middleware import S4DCacheMiddleware
+from .policy import (
+    AlwaysCachePolicy,
+    NeverCachePolicy,
+    Policy,
+    SelectivePolicy,
+    SizeThresholdPolicy,
+    make_policy,
+)
+from .rebuilder import Rebuilder
+from .redirector import Redirector
+from .space import CacheSpace
+from .tables import CDT, DMT, CDTEntry, DMTExtent
+
+__all__ = [
+    "CARLPlacementLayer",
+    "CDT",
+    "CDTEntry",
+    "RegionPlan",
+    "plan_placement",
+    "CacheMetrics",
+    "CacheSpace",
+    "CostModel",
+    "CostParams",
+    "DMT",
+    "DMTExtent",
+    "DataIdentifier",
+    "MemoryCacheLayer",
+    "AlwaysCachePolicy",
+    "NeverCachePolicy",
+    "Policy",
+    "Rebuilder",
+    "Redirector",
+    "S4DCacheMiddleware",
+    "SelectivePolicy",
+    "SizeThresholdPolicy",
+    "make_policy",
+]

@@ -1,0 +1,60 @@
+"""Runtime counters of the S4D-Cache middleware.
+
+These back the paper's diagnostic numbers: the DServer/CServer request
+distribution of Table III, the eviction behaviour behind Table IV, and
+the metadata-size estimate of §V.E.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class CacheMetrics:
+    """Counters; bytes and request counts per routing outcome."""
+
+    # Routing outcomes (whole or partial requests, in bytes).
+    bytes_to_dservers: int = 0
+    bytes_to_cservers: int = 0
+    requests_to_dservers: int = 0
+    requests_to_cservers: int = 0
+    requests_split: int = 0
+
+    # Cache events.
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_admitted: int = 0
+    write_bounced: int = 0          # critical but no space
+    lazy_fetch_marks: int = 0       # C_flag set on read miss
+
+    # Rebuilder activity.
+    flushes: int = 0
+    flushed_bytes: int = 0
+    fetches: int = 0
+    fetched_bytes: int = 0
+
+    # Identifier activity.
+    benefit_evaluations: int = 0
+    critical_admissions: int = 0
+
+    def request_distribution(self) -> tuple[float, float]:
+        """(DServer %, CServer %) of routed requests — Table III."""
+        total = self.requests_to_dservers + self.requests_to_cservers
+        if total == 0:
+            return (0.0, 0.0)
+        return (
+            100.0 * self.requests_to_dservers / total,
+            100.0 * self.requests_to_cservers / total,
+        )
+
+    def byte_distribution(self) -> tuple[float, float]:
+        """(DServer %, CServer %) of routed bytes."""
+        total = self.bytes_to_dservers + self.bytes_to_cservers
+        if total == 0:
+            return (0.0, 0.0)
+        return (
+            100.0 * self.bytes_to_dservers / total,
+            100.0 * self.bytes_to_cservers / total,
+        )

@@ -1,0 +1,347 @@
+"""S4D-Cache as an MPI-IO plug-in (§III.A, §IV.B).
+
+The middleware implements :class:`~repro.mpiio.api.IOLayer`, wrapping
+the stock :class:`~repro.mpiio.api.DirectIO` path exactly the way the
+paper modifies ROMIO:
+
+- ``MPI_File_open``  -> also open/create the correlating cache file in
+  the CPFS and load the DMT;
+- ``MPI_File_read``  -> evaluate the benefit, admit to the CDT, serve
+  hits from CServers, set C_flag on critical misses;
+- ``MPI_File_write`` -> evaluate the benefit, admit, allocate cache
+  space per Algorithm 1, absorb critical writes into CServers;
+- ``MPI_File_close`` -> close the cache file; the Rebuilder helper
+  stops when the last file closes;
+- ``MPI_File_seek``  -> pointer logic lives in
+  :class:`~repro.mpiio.api.MPIFile`, unchanged.
+
+"When the requested data does not belong to any cache file and is not
+performance-critical, this system acts the same as the default MPI-IO
+implementation" — plus the small lookup/metadata overheads that
+§V.E.2 (Fig. 11) measures.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..devices.base import OP_WRITE
+from ..errors import CacheError
+from ..kvstore import HashDB, LockManager
+from ..mpiio.api import DirectIO, FileHandle, IOLayer
+from ..pfs import PFS, IOResult, PFSClient
+from ..pfs.content import next_stamp
+from ..sim.resources import PRIORITY_NORMAL
+from .cost_model import CostModel
+from .identifier import DataIdentifier
+from .metrics import CacheMetrics
+from .policy import Policy, SelectivePolicy
+from .rebuilder import Rebuilder
+from .redirector import Redirector, RouteStep, TO_CSERVERS
+from .space import CacheSpace
+from .tables import CDT, DMT
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+
+class S4DCacheMiddleware(IOLayer):
+    """The complete S4D-Cache runtime."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        direct: DirectIO,
+        cpfs: PFS,
+        cost_model: CostModel,
+        capacity: int,
+        policy: Policy | None = None,
+        lookup_overhead: float = 8e-6,
+        metadata_sync_cost: float = 30e-6,
+        rebuild_interval: float = 0.25,
+        rebuild_budget: int = 4 * 1024 * 1024,
+        metadata_shards: int = 1,
+    ):
+        if capacity < 0:
+            raise CacheError(f"cache capacity must be >= 0: {capacity}")
+        self.sim = sim
+        self.direct = direct
+        self.cpfs = cpfs
+        self.metrics = CacheMetrics()
+        self.policy = policy if policy is not None else SelectivePolicy()
+        self.identifier = DataIdentifier(
+            cost_model, CDT(), self.policy, self.metrics
+        )
+        self.dmt = DMT(HashDB("dmt", sync_mode="always"))
+        self.space = CacheSpace(capacity)
+        self.redirector = Redirector(
+            self.dmt, self.identifier.cdt, self.space, self.metrics
+        )
+        self.locks = LockManager(sim)
+        #: §III.D: "Techniques similar to the distributed cache meta
+        #: data can also be applied to distribute metadata among the
+        #: application processes, so that the communication contention
+        #: for accessing metadata can be minimized."  With shards > 1
+        #: the per-file metadata lock is partitioned by offset range,
+        #: so decisions on disjoint regions proceed concurrently.
+        if metadata_shards < 1:
+            raise CacheError(f"metadata_shards must be >= 1: {metadata_shards}")
+        self.metadata_shards = metadata_shards
+        #: Offset span covered by one shard's lock.
+        self.shard_span = 256 * 1024 * 1024
+        self.lookup_overhead = lookup_overhead
+        self.metadata_sync_cost = metadata_sync_cost
+
+        # Cache-side PFS clients: one per compute node (the redirected
+        # request is issued by the same node that issued the original),
+        # plus a dedicated mover endpoint for the Rebuilder.
+        self._cpfs_clients = [
+            PFSClient(sim, cpfs, direct.fabric, direct.node_for(node))
+            for node in range(direct.num_nodes)
+        ]
+        self._mover_opfs = PFSClient(sim, direct.pfs, direct.fabric, "mover")
+        self._mover_cpfs = PFSClient(sim, cpfs, direct.fabric, "mover")
+        self.rebuilder = Rebuilder(
+            sim,
+            self.dmt,
+            self.identifier.cdt,
+            self.space,
+            self._mover_opfs,
+            self._mover_cpfs,
+            self._resolve_handles,
+            self.metrics,
+            interval=rebuild_interval,
+            flush_budget=rebuild_budget,
+            fetch_budget=rebuild_budget,
+        )
+        self._open_files = 0
+        #: Optional IOSIG tracer (set by the runner).
+        self.tracer = None
+
+    # -- plumbing ---------------------------------------------------------
+    @property
+    def fabric(self):
+        return self.direct.fabric
+
+    @property
+    def pfs(self):
+        """The original PFS (so tools written for DirectIO work)."""
+        return self.direct.pfs
+
+    def node_for(self, rank: int) -> str:
+        return self.direct.node_for(rank)
+
+    @staticmethod
+    def cache_path(path: str) -> str:
+        """The correlating cache file's name for an original file."""
+        return f"{path}.s4dcache"
+
+    def _resolve_handles(self, d_file: str):
+        d_handle = self.direct.pfs.open(d_file)
+        c_handle = self.cpfs.open(self.cache_path(d_file))
+        return d_handle, c_handle
+
+    def cpfs_client_for(self, rank: int) -> PFSClient:
+        return self._cpfs_clients[rank % self.direct.num_nodes]
+
+    def _lock_key(self, path: str, offset: int) -> str:
+        if self.metadata_shards == 1:
+            return path
+        shard = (offset // self.shard_span) % self.metadata_shards
+        return f"{path}#shard{shard}"
+
+    # -- IOLayer: open ------------------------------------------------------
+    def open(self, rank: int, path: str, size_hint: int):
+        """§IV.B MPI_File_open: open original + correlating cache file."""
+        handle = yield from self.direct.open(rank, path, size_hint)
+        c_path = self.cache_path(path)
+        if not self.cpfs.exists(c_path):
+            # The cache file's address space spans the whole cache
+            # capacity (the space manager enforces the global budget).
+            hint = max(self.space.capacity, 1)
+            self.cpfs.create(c_path, hint)
+            self.space.register_cache_file(c_path)
+        handle.private.setdefault("s4d_cache_path", c_path)
+        self._open_files += 1
+        # §IV.C: the helper thread is created when the process opens
+        # the first file.
+        self.rebuilder.start()
+        return handle
+
+    # -- IOLayer: read/write --------------------------------------------------
+    def io(self, rank: int, handle: FileHandle, op: str, offset: int, size: int,
+           priority: int = PRIORITY_NORMAL):
+        """§IV.B MPI_File_read / MPI_File_write."""
+        start = self.sim.now
+        # Identifier + Redirector bookkeeping costs (measured by Fig. 11).
+        yield self.sim.timeout(self.lookup_overhead)
+        benefit, cdt_entry = self.identifier.observe(
+            rank, handle.path, op, offset, size
+        )
+        # Metadata decisions are serialised per file (§III.D's DMT
+        # lock) — or per (file, offset-shard) when distributed
+        # metadata is enabled.
+        token = yield self.locks.acquire(
+            self._lock_key(handle.path, offset), owner=f"rank{rank}"
+        )
+        try:
+            plan = self.redirector.route(
+                op,
+                handle.path,
+                self.cache_path(handle.path),
+                offset,
+                size,
+                cdt_entry,
+            )
+            if plan.metadata_mutations:
+                # Synchronous DMT persistence (§III.D).
+                yield self.sim.timeout(
+                    plan.metadata_mutations * self.metadata_sync_cost
+                )
+        finally:
+            self.locks.release(token)
+
+        try:
+            result = yield from self._execute(rank, handle, plan, offset,
+                                              size, priority, start)
+        finally:
+            plan.release()
+        if self.tracer is not None:
+            from ..iosig.tracer import TraceRecord
+
+            d_bytes = sum(
+                s.size for s in plan.steps if s.target != TO_CSERVERS
+            )
+            self.tracer.record(
+                TraceRecord(
+                    time=start,
+                    rank=rank,
+                    op=op,
+                    path=handle.path,
+                    offset=offset,
+                    size=size,
+                    dserver_bytes=d_bytes,
+                    cserver_bytes=size - d_bytes,
+                    elapsed=result.elapsed,
+                )
+            )
+        return result
+
+    def _execute(self, rank, handle, plan, offset, size, priority, start):
+        """Issue the planned segments in parallel and merge results."""
+        d_handle = self.direct.pfs.open(handle.path)
+        c_handle = self.cpfs.open(self.cache_path(handle.path))
+        stamp = next_stamp() if plan.op == OP_WRITE else None
+
+        flows = [
+            self.sim.spawn(
+                self._step_flow(rank, d_handle, c_handle, plan.op, step,
+                                stamp, priority),
+                name=f"s4d:{plan.op}:{step.target}",
+            )
+            for step in plan.steps
+        ]
+        step_results = yield self.sim.all_of(flows)
+
+        result = IOResult(
+            op=plan.op,
+            path=handle.path,
+            offset=offset,
+            size=size,
+            start_time=start,
+            end_time=self.sim.now,
+            servers_touched=max(
+                (r.servers_touched for r in step_results), default=0
+            ),
+            stamp=stamp,
+        )
+        if plan.op == OP_WRITE:
+            d_handle.size = max(d_handle.size, offset + size)
+        else:
+            result.segments = self._merge_read_segments(plan.steps, step_results)
+        return result
+
+    def _step_flow(self, rank, d_handle, c_handle, op, step: RouteStep,
+                   stamp, priority):
+        """One segment's I/O on its target file system."""
+        if step.target == TO_CSERVERS:
+            client = self.cpfs_client_for(rank)
+            if op == OP_WRITE:
+                result = yield from client.write(
+                    c_handle, step.c_offset, step.size, priority, stamp=stamp
+                )
+            else:
+                result = yield from client.read(
+                    c_handle, step.c_offset, step.size, priority
+                )
+        else:
+            client = self.direct.client_for(rank)
+            if op == OP_WRITE:
+                result = yield from client.write(
+                    d_handle, step.d_offset, step.size, priority, stamp=stamp
+                )
+            else:
+                result = yield from client.read(
+                    d_handle, step.d_offset, step.size, priority
+                )
+        return result
+
+    @staticmethod
+    def _merge_read_segments(steps, step_results):
+        """Translate per-step read segments into original-file coords."""
+        merged = []
+        for step, res in zip(steps, step_results):
+            if step.target == TO_CSERVERS:
+                shift = step.d_offset - step.c_offset
+                merged.extend(
+                    (s + shift, e + shift, v) for s, e, v in res.segments
+                )
+            else:
+                merged.extend(res.segments)
+        merged.sort()
+        # Coalesce adjacent segments with the same stamp for stable
+        # comparisons against plain PFS reads.
+        out = []
+        for seg in merged:
+            if out and out[-1][1] == seg[0] and out[-1][2] == seg[2]:
+                out[-1] = (out[-1][0], seg[1], seg[2])
+            else:
+                out.append(list(seg))
+        return [tuple(seg) for seg in out]
+
+    # -- IOLayer: close / finalize ----------------------------------------------
+    def close(self, rank: int, handle: FileHandle):
+        """§IV.B MPI_File_close: close original and cache file."""
+        yield from self.direct.close(rank, handle)
+        self._open_files -= 1
+        if self._open_files == 0:
+            # "destroyed after the last file is closed" (§IV.C).
+            self.rebuilder.stop()
+
+    def finalize(self):
+        """Job teardown: stop the helper even if files leaked open."""
+        self.rebuilder.stop()
+        return
+        yield  # pragma: no cover
+
+    # -- crash recovery -----------------------------------------------------
+    def recover(self) -> None:
+        """Simulate a middleware restart after a power failure (§III.D).
+
+        The DMT's synchronous persistence is the durability story; all
+        volatile state — in-flight Rebuilder work, space free lists,
+        LRU recency — dies with the process and is rebuilt from the
+        recovered mapping table, exactly as a restarted deployment
+        would do.
+        """
+        was_running = self.rebuilder.running
+        self.rebuilder.stop()
+        self.dmt.recover()
+        self.space.rebuild_from(self.dmt)
+        if was_running:
+            self.rebuilder.start()
+
+    # -- diagnostics ------------------------------------------------------------
+    def metadata_bytes(self, entry_bytes: int = 24) -> int:
+        """§V.E.1 estimate: DMT records times the 6*4B record size."""
+        return len(self.dmt) * entry_bytes

@@ -1,0 +1,104 @@
+"""Cache admission policies.
+
+The paper's policy is *selective*: a request is performance-critical
+iff the cost model's benefit is positive (§III.C).  The baselines here
+exist for the ablation benchmarks — they answer "how much of the win
+comes from the smart selection versus just having SSDs":
+
+- ``always``: conventional cache behaviour, admit everything (what a
+  locality-driven block cache would do on first touch);
+- ``never``: admit nothing (stock path plus middleware overhead —
+  exactly the Fig. 11 configuration);
+- ``size:<bytes>``: a naive heuristic admitting small requests only.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import ConfigError
+from ..units import parse_size
+from .cost_model import CostModel
+
+
+class Policy(abc.ABC):
+    """Decides whether a request's data is performance-critical."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def is_critical(
+        self, op: str, offset: int, size: int, benefit: float
+    ) -> bool:
+        """True if the data should be admitted to the CDT."""
+
+
+class SelectivePolicy(Policy):
+    """The paper's policy: critical iff the modelled benefit B > 0."""
+
+    name = "selective"
+
+    def is_critical(self, op, offset, size, benefit):
+        return benefit > 0.0
+
+
+class AlwaysCachePolicy(Policy):
+    """Admit everything (conventional-cache baseline)."""
+
+    name = "always"
+
+    def is_critical(self, op, offset, size, benefit):
+        return True
+
+
+class NeverCachePolicy(Policy):
+    """Admit nothing: stock behaviour plus middleware overhead."""
+
+    name = "never"
+
+    def is_critical(self, op, offset, size, benefit):
+        return False
+
+
+class SizeThresholdPolicy(Policy):
+    """Admit requests at most ``threshold`` bytes (naive baseline)."""
+
+    name = "size"
+
+    def __init__(self, threshold: int | str):
+        self.threshold = parse_size(threshold)
+        if self.threshold <= 0:
+            raise ConfigError("size threshold must be positive")
+        self.name = f"size:{self.threshold}"
+
+    def is_critical(self, op, offset, size, benefit):
+        return size <= self.threshold
+
+
+def make_policy(spec: str | Policy) -> Policy:
+    """Build a policy from a short spec string.
+
+    ``"selective"``, ``"always"``, ``"never"`` or ``"size:64KB"``.
+    """
+    if isinstance(spec, Policy):
+        return spec
+    if spec == "selective":
+        return SelectivePolicy()
+    if spec == "always":
+        return AlwaysCachePolicy()
+    if spec == "never":
+        return NeverCachePolicy()
+    if spec.startswith("size:"):
+        return SizeThresholdPolicy(spec.split(":", 1)[1])
+    raise ConfigError(f"unknown policy spec {spec!r}")
+
+
+__all__ = [
+    "AlwaysCachePolicy",
+    "CostModel",
+    "NeverCachePolicy",
+    "Policy",
+    "SelectivePolicy",
+    "SizeThresholdPolicy",
+    "make_policy",
+]

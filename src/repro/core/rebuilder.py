@@ -1,0 +1,296 @@
+"""The Rebuilder (§III.F, §IV.C).
+
+Background data reorganisation, "triggered periodically":
+
+1. write dirty data back to DServers, then clear the D_flag (the
+   space becomes clean and therefore evictable);
+2. read CDT entries whose C_flag is set from DServers into CServers
+   (the lazy caching of read misses), then clear the C_flag.
+
+All reorganisation I/O is *low priority* so it yields to application
+requests (§III.F: "Rebuilder issues low-priority I/O requests for the
+reorganization to reduce the interference").
+
+§IV.C implements this as one helper thread per MPI process; here a
+single simulated process per middleware instance does the same work —
+the serialisation difference only matters for reorganisation
+throughput, which the budget parameters control explicitly.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ProcessKilled
+from ..pfs import PFSClient, PFSFile
+from ..sim.resources import PRIORITY_LOW
+from .metrics import CacheMetrics
+from .space import CacheSpace
+from .tables import CDT, CDTEntry, DMT, DMTExtent
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+#: Resolves an original-file name to its (original, cache) PFS handles.
+HandleResolver = typing.Callable[[str], tuple[PFSFile, PFSFile]]
+
+
+class Rebuilder:
+    """Periodic flush/fetch engine over the cache tables."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        dmt: DMT,
+        cdt: CDT,
+        space: CacheSpace,
+        opfs_client: PFSClient,
+        cpfs_client: PFSClient,
+        resolve: HandleResolver,
+        metrics: CacheMetrics | None = None,
+        interval: float = 0.25,
+        flush_budget: int = 32 * 1024 * 1024,
+        fetch_budget: int = 32 * 1024 * 1024,
+        priority: int = PRIORITY_LOW,
+        parallelism: int = 16,
+    ):
+        self.sim = sim
+        self.dmt = dmt
+        self.cdt = cdt
+        self.space = space
+        self.opfs_client = opfs_client
+        self.cpfs_client = cpfs_client
+        self.resolve = resolve
+        self.metrics = metrics if metrics is not None else CacheMetrics()
+        self.interval = interval
+        self.flush_budget = flush_budget
+        self.fetch_budget = fetch_budget
+        #: I/O priority of reorganisation traffic.  §III.F prescribes
+        #: low priority; the ablation benchmark flips this to measure
+        #: the interference that decision avoids.
+        self.priority = priority
+        #: Concurrent data movements per batch: a serial mover would
+        #: keep only one file server busy at a time and the write-back
+        #: of sparse random extents would crawl at single-device
+        #: random-IOPS speed.
+        self.parallelism = max(1, parallelism)
+        self.cycles = 0
+        self._proc = None
+        self._active_batch: list = []
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the periodic background process (idempotent)."""
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.sim.spawn(self._run(), name="rebuilder")
+
+    def stop(self) -> None:
+        """Kill the background process (§IV.C: destroyed after the last
+        file is closed), including any in-flight data movements.
+
+        Batch movements are killed *before* the main loop: killing the
+        loop first would unwind ``_run_batch``'s finally-clause and
+        clear the batch list, leaving the movements alive as zombies
+        that later mutate post-recovery state (a bug the consistency
+        property suite caught).
+        """
+        batch, self._active_batch = self._active_batch, []
+        for proc in batch:
+            if proc.is_alive:
+                proc.kill("middleware finalize")
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.kill("middleware finalize")
+        self._proc = None
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.is_alive
+
+    def _run(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.interval)
+                yield from self.cycle()
+        except ProcessKilled:
+            return
+
+    # -- one reorganisation cycle ------------------------------------------
+    def cycle(self):
+        """Process generator: one flush pass then one fetch pass."""
+        yield from self.flush_pass(self.flush_budget)
+        yield from self.fetch_pass(self.fetch_budget)
+        self.cycles += 1
+
+    def drain(self, max_cycles: int = 1000):
+        """Run cycles until quiescent.
+
+        Quiescent means: no dirty extents remain, and a full cycle made
+        no progress on pending fetches (entries that cannot be placed —
+        cache full of equal-or-higher-benefit data — stay pending
+        forever by design, so "pending empty" alone would never
+        converge).  Used by experiment harnesses between runs.
+        """
+        for _ in range(max_cycles):
+            dirty = bool(self.dmt.dirty_extents(limit=1))
+            pending = bool(self.cdt.pending_fetches(limit=1))
+            if not dirty and not pending:
+                return
+            before = (self.metrics.fetched_bytes, self.metrics.flushed_bytes)
+            yield from self.cycle()
+            after = (self.metrics.fetched_bytes, self.metrics.flushed_bytes)
+            if after == before and not self.dmt.dirty_extents(limit=1):
+                return
+        raise RuntimeError("rebuilder drain did not converge")
+
+    # -- flushing dirty data ------------------------------------------------
+    def flush_pass(self, budget: int):
+        """Write dirty extents back to DServers in file-offset order.
+
+        Sorting the write-back stream by (file, offset) is what turns
+        the SSD stage into a request *reorganiser*: the random writes
+        the cache absorbed go back to the HDDs as ascending, mostly
+        adjacent runs that the servers' write-behind coalesces — the
+        same effect the paper's ref [13] (iTransformer) builds on.
+        Unsorted write-back would make the HDDs pay the very random-
+        access penalty the cache existed to avoid.
+        """
+        spent = 0
+        dirty = sorted(
+            self.dmt.dirty_extents(),
+            key=lambda e: (e.d_file, e.d_offset),
+        )
+        batch: list = []
+        for extent in dirty:
+            if spent >= budget:
+                break
+            batch.append(extent)
+            spent += extent.length
+            if len(batch) >= self.parallelism:
+                yield from self._run_batch(self._flush_extent, batch)
+                batch = []
+        if batch:
+            yield from self._run_batch(self._flush_extent, batch)
+
+    def _run_batch(self, action, items):
+        procs = [
+            self.sim.spawn(action(item), name="rebuilder-mv")
+            for item in items
+        ]
+        self._active_batch = procs
+        try:
+            yield self.sim.all_of(procs)
+        finally:
+            self._active_batch = []
+
+    def _flush_extent(self, extent: DMTExtent):
+        d_handle, c_handle = self.resolve(extent.d_file)
+        epoch = extent.dirty_epoch
+        yield from self.cpfs_client.read(
+            c_handle, extent.c_offset, extent.length, priority=PRIORITY_LOW
+        )
+        yield from self.opfs_client.write(
+            d_handle, extent.d_offset, extent.length, priority=PRIORITY_LOW
+        )
+        # The timed write minted a placeholder stamp; the authoritative
+        # bytes are the cache extent's, captured *after* the I/O so a
+        # foreground write racing the flush is not lost.
+        d_handle.content.copy_range_from(
+            c_handle.content, extent.c_offset, extent.d_offset, extent.length
+        )
+        if extent.dirty_epoch == epoch:
+            self.dmt.set_dirty(extent, False)
+        self.metrics.flushes += 1
+        self.metrics.flushed_bytes += extent.length
+
+    # -- fetching lazily-cached reads ----------------------------------------
+    def fetch_pass(self, budget: int):
+        """Cache CDT entries whose C_flag is set.
+
+        Highest benefit first (the cache should end up holding the
+        most valuable data), offset-sorted within a benefit class so
+        the DServer reads stream instead of seeking.
+        """
+        spent = 0
+        pending = sorted(
+            self.cdt.pending_fetches(),
+            key=lambda e: (-e.benefit, e.d_file, e.d_offset),
+        )
+
+        def fetch_and_clear(entry):
+            done = yield from self._fetch_entry(entry)
+            if done:
+                entry.c_flag = False
+
+        batch: list = []
+        for entry in pending:
+            if spent >= budget:
+                break
+            batch.append(entry)
+            spent += entry.length
+            if len(batch) >= self.parallelism:
+                yield from self._run_batch(fetch_and_clear, batch)
+                batch = []
+        if batch:
+            yield from self._run_batch(fetch_and_clear, batch)
+
+    def _fetch_entry(self, entry: CDTEntry):
+        """Fetch the entry's unmapped segments; True if fully mapped."""
+        d_handle, c_handle = self.resolve(entry.d_file)
+        complete = True
+        segments = self.dmt.lookup(entry.d_file, entry.d_offset, entry.length)
+        for seg_start, seg_end, extent in segments:
+            if extent is not None:
+                continue  # already cached by a foreground write
+            seg_size = seg_end - seg_start
+            allocation = self.space.find_free_space(c_handle.name, seg_size)
+            if allocation is None:
+                # Benefit-guarded eviction: a background fetch may only
+                # displace strictly less valuable clean data (churn
+                # guard, see space.find_clean_space).
+                allocation = self.space.find_clean_space(
+                    c_handle.name, seg_size, self.dmt,
+                    min_benefit=entry.benefit,
+                )
+            if allocation is None:
+                complete = False  # nothing cheap enough to displace
+                continue
+            try:
+                yield from self.opfs_client.read(
+                    d_handle, seg_start, seg_size, priority=PRIORITY_LOW
+                )
+                yield from self.cpfs_client.write(
+                    c_handle, allocation.c_offset, seg_size,
+                    priority=PRIORITY_LOW,
+                )
+            except ProcessKilled:
+                # Killed mid-movement (finalize/recovery): hand the
+                # reserved space back so accounting stays exact.
+                self.space.release(
+                    allocation.c_file, allocation.c_offset, allocation.length
+                )
+                raise
+            # Re-check after the timed I/O: a foreground write may have
+            # mapped (part of) this range meanwhile — its data is newer,
+            # keep it and discard the fetched copy.
+            fresh = self.dmt.lookup(entry.d_file, seg_start, seg_size)
+            if any(v is not None for _, _, v in fresh):
+                self.space.release(
+                    allocation.c_file, allocation.c_offset, allocation.length
+                )
+                continue
+            new_extent = self.dmt.add(
+                d_file=entry.d_file,
+                d_offset=seg_start,
+                c_file=allocation.c_file,
+                c_offset=allocation.c_offset,
+                length=seg_size,
+                dirty=False,
+                benefit=entry.benefit,
+            )
+            self.space.touch(new_extent)
+            c_handle.content.copy_range_from(
+                d_handle.content, seg_start, allocation.c_offset, seg_size
+            )
+            self.metrics.fetches += 1
+            self.metrics.fetched_bytes += seg_size
+        return complete

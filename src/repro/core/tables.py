@@ -1,0 +1,267 @@
+"""The CDT and DMT (§III.C-§III.D, Fig. 5).
+
+Critical Data Table (CDT): which data is performance-critical.  Each
+entry holds D_file, D_offset, Length and the C_flag ("the data needs
+to be cached in CServers" — set lazily on read misses, consumed by the
+Rebuilder).
+
+Data Mapping Table (DMT): which data currently lives in the cache.
+Each extent maps a range of the original file to a range of the cache
+file, with the D_flag dirty bit.  The DMT is hash-indexed in memory
+(interval maps per file) and synchronously persisted through the
+Berkeley-DB-like :class:`~repro.kvstore.HashDB`, so it survives
+simulated power failures; a :class:`~repro.kvstore.LockManager` key
+serialises concurrent metadata access as §III.D describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from ..errors import CacheError
+from ..intervals import IntervalMap
+from ..kvstore import HashDB
+
+
+@dataclasses.dataclass
+class CDTEntry:
+    """One critical-data record (D_file, D_offset, Length, C_flag)."""
+
+    d_file: str
+    d_offset: int
+    length: int
+    #: True when a read miss asked the Rebuilder to fetch this data.
+    c_flag: bool = False
+    #: Benefit computed when the entry was admitted (diagnostics).
+    benefit: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        return (self.d_file, self.d_offset, self.length)
+
+
+class CDT:
+    """The critical data table.
+
+    Entries are keyed by the exact (file, offset, length) triple —
+    repeated request patterns (the common HPC case the paper leans on)
+    hit the same entries.  A per-file interval index answers the
+    Rebuilder's "what should I fetch" scans.
+    """
+
+    def __init__(self, capacity_entries: int | None = None):
+        self._entries: dict[tuple[str, int, int], CDTEntry] = {}
+        self._by_file: dict[str, list[CDTEntry]] = {}
+        self.capacity_entries = capacity_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, d_file: str, d_offset: int, length: int) -> CDTEntry | None:
+        return self._entries.get((d_file, d_offset, length))
+
+    #: Weight of the newest observation in the benefit moving average.
+    BENEFIT_EMA = 0.3
+
+    def admit(
+        self, d_file: str, d_offset: int, length: int, benefit: float
+    ) -> CDTEntry:
+        """Insert (or refresh) an entry for this request.
+
+        Repeated observations update the benefit as an exponential
+        moving average: the benefit's distance term is a per-sample
+        measurement (a random block's previous request may by chance
+        have been nearby), and smoothing keeps an entry's value a
+        stable property of its access pattern rather than of the last
+        sample — which the space manager's eviction hysteresis relies
+        on.
+        """
+        key = (d_file, d_offset, length)
+        entry = self._entries.get(key)
+        if entry is None:
+            if (
+                self.capacity_entries is not None
+                and len(self._entries) >= self.capacity_entries
+            ):
+                self._evict_one()
+            entry = CDTEntry(d_file, d_offset, length, benefit=benefit)
+            self._entries[key] = entry
+            self._by_file.setdefault(d_file, []).append(entry)
+        else:
+            ema = self.BENEFIT_EMA
+            entry.benefit = (1 - ema) * entry.benefit + ema * benefit
+        return entry
+
+    def _evict_one(self) -> None:
+        """Drop the lowest-benefit entry (table full)."""
+        victim = min(self._entries.values(), key=lambda e: e.benefit)
+        del self._entries[victim.key]
+        self._by_file[victim.d_file].remove(victim)
+
+    def pending_fetches(self, limit: int | None = None) -> list[CDTEntry]:
+        """Entries whose C_flag asks for a background fetch."""
+        out = [e for e in self._entries.values() if e.c_flag]
+        out.sort(key=lambda e: -e.benefit)
+        return out if limit is None else out[:limit]
+
+    def entries_for(self, d_file: str) -> list[CDTEntry]:
+        return list(self._by_file.get(d_file, []))
+
+
+@dataclasses.dataclass
+class DMTExtent:
+    """One mapping record (Fig. 5): D_file/D_offset -> C_file/C_offset.
+
+    ``length`` and the dirty bit complete the paper's six fields.  The
+    record id keys the persistent store.
+    """
+
+    record_id: int
+    d_file: str
+    d_offset: int
+    c_file: str
+    c_offset: int
+    length: int
+    dirty: bool = False
+    #: Incremented on every dirtying write; lets the Rebuilder detect
+    #: that an extent was re-dirtied while its flush was in flight.
+    dirty_epoch: int = 0
+    #: Modelled benefit of the request that admitted this extent.
+    #: Used by the Rebuilder's benefit-guarded eviction (see space.py).
+    benefit: float = 0.0
+    #: Transient pin count: extents referenced by an in-flight request
+    #: plan must not be evicted until the request's data movement is
+    #: done (never persisted — pins die with the process).
+    pins: int = 0
+
+    def to_record(self) -> dict:
+        record = dataclasses.asdict(self)
+        record.pop("pins")
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "DMTExtent":
+        return cls(**record)
+
+
+class DMT:
+    """The data mapping table: in-memory interval index + durable log.
+
+    Every mutation is written through to the HashDB (sync_mode
+    "always", matching the paper's synchronous metadata writes) so a
+    :meth:`recover` after a crash rebuilds the same mappings.
+    """
+
+    def __init__(self, db: HashDB | None = None):
+        self.db = db if db is not None else HashDB("dmt")
+        self._by_file: dict[str, IntervalMap[DMTExtent]] = {}
+        self._ids = itertools.count(1)
+
+    # -- queries --------------------------------------------------------
+    def lookup(
+        self, d_file: str, offset: int, size: int
+    ) -> list[tuple[int, int, DMTExtent | None]]:
+        """Tile [offset, offset+size) into hit/miss segments."""
+        index = self._by_file.get(d_file)
+        if index is None:
+            return [(offset, offset + size, None)]
+        return index.lookup(offset, offset + size)
+
+    def fully_mapped(self, d_file: str, offset: int, size: int) -> bool:
+        return all(v is not None for _, _, v in self.lookup(d_file, offset, size))
+
+    def extents_for(self, d_file: str) -> list[DMTExtent]:
+        index = self._by_file.get(d_file)
+        if index is None:
+            return []
+        return [iv.value for iv in index]
+
+    def all_extents(self) -> list[DMTExtent]:
+        return [e for f in sorted(self._by_file) for e in self.extents_for(f)]
+
+    def dirty_extents(self, limit: int | None = None) -> list[DMTExtent]:
+        out = [e for e in self.all_extents() if e.dirty]
+        return out if limit is None else out[:limit]
+
+    def __len__(self) -> int:
+        return sum(len(ix) for ix in self._by_file.values())
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(ix.total_bytes for ix in self._by_file.values())
+
+    # -- mutation -----------------------------------------------------------
+    def add(
+        self,
+        d_file: str,
+        d_offset: int,
+        c_file: str,
+        c_offset: int,
+        length: int,
+        dirty: bool,
+        benefit: float = 0.0,
+    ) -> DMTExtent:
+        """Map a fresh range.
+
+        Overlapping an existing mapping is a :class:`CacheError`:
+        Algorithm 1 always *reuses* existing mappings for mapped
+        segments (line 22) and only admits the unmapped remainder, so
+        a legal caller never double-maps.  Keeping this strict makes
+        crash recovery trivially sound (records never contradict each
+        other).
+        """
+        if length <= 0:
+            raise CacheError(f"DMT extent length must be positive: {length}")
+        index = self._by_file.setdefault(d_file, IntervalMap())
+        if index.overlaps(d_offset, d_offset + length):
+            raise CacheError(
+                f"DMT overlap: {d_file!r} [{d_offset}, {d_offset + length}) "
+                "is already (partially) mapped"
+            )
+        extent = DMTExtent(
+            record_id=next(self._ids),
+            d_file=d_file,
+            d_offset=d_offset,
+            c_file=c_file,
+            c_offset=c_offset,
+            length=length,
+            dirty=dirty,
+            benefit=benefit,
+        )
+        index.set(d_offset, d_offset + length, extent)
+        self.db.put(self._key(extent), extent.to_record())
+        return extent
+
+    def set_dirty(self, extent: DMTExtent, dirty: bool) -> None:
+        if extent.dirty != dirty:
+            extent.dirty = dirty
+            self.db.put(self._key(extent), extent.to_record())
+
+    def remove(self, extent: DMTExtent) -> None:
+        """Unmap an extent entirely (eviction)."""
+        index = self._by_file.get(extent.d_file)
+        if index is None:
+            raise CacheError(f"remove of unknown extent {extent}")
+        try:
+            index.remove_exact(extent.d_offset, extent.d_offset + extent.length)
+        except KeyError as exc:
+            raise CacheError(f"remove of unmapped extent {extent}") from exc
+        self.db.delete(self._key(extent))
+
+    def _key(self, extent: DMTExtent) -> str:
+        return f"{extent.d_file}#{extent.record_id}"
+
+    # -- durability ------------------------------------------------------
+    def recover(self) -> None:
+        """Rebuild the in-memory index from the durable store."""
+        self.db.crash()
+        self._by_file.clear()
+        max_id = 0
+        for _, record in self.db.items():
+            extent = DMTExtent.from_record(record)
+            max_id = max(max_id, extent.record_id)
+            index = self._by_file.setdefault(extent.d_file, IntervalMap())
+            index.clear_range(extent.d_offset, extent.d_offset + extent.length)
+            index.set(extent.d_offset, extent.d_offset + extent.length, extent)
+        self._ids = itertools.count(max_id + 1)

@@ -1,0 +1,35 @@
+"""Storage device timing models.
+
+The paper's testbed has HDD-backed DServers (SEAGATE ST32502NS-class
+disks) and SSD-backed CServers (OCZ RevoDrive X2-class PCIe SSDs).  This
+package models both at the level the evaluation depends on:
+
+- :class:`HDD` pays a distance-dependent seek (the profiled ``F(d)`` of
+  §III.B) plus a rotational delay on non-sequential access, then streams
+  at the platter transfer rate — reproducing the sequential-vs-random
+  gap of Fig. 1.
+- :class:`SSD` pays a small per-operation latency plus transfer time,
+  independent of the previous request's position ("SSDs are insensitive
+  to spatial locality"), with read faster than write.
+- :class:`DeviceProfiler` performs the offline profiling the paper bases
+  its cost model on (ref [28]): it measures a device and fits the
+  parameters (``F``, ``R``, ``S``, ``beta``) used by
+  :mod:`repro.core.cost_model`.
+"""
+
+from .base import StorageDevice
+from .hdd import HDD, HDDSpec
+from .profiler import DeviceProfile, DeviceProfiler
+from .seek_profile import SeekProfile
+from .ssd import SSD, SSDSpec
+
+__all__ = [
+    "HDD",
+    "HDDSpec",
+    "SSD",
+    "SSDSpec",
+    "DeviceProfile",
+    "DeviceProfiler",
+    "SeekProfile",
+    "StorageDevice",
+]

@@ -1,0 +1,113 @@
+"""HDD timing model: seek + rotation + streaming transfer."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from ..errors import ConfigError
+from ..units import GiB, MiB
+from .base import StorageDevice
+from .seek_profile import SeekProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class HDDSpec:
+    """Parameters of one HDD.
+
+    Defaults approximate the paper's SEAGATE ST32502NS (250 GB, 7200
+    RPM nearline SATA): ~78 MB/s sustained transfer, 8.33 ms rotation
+    period.
+    """
+
+    capacity_bytes: int = 250 * GiB
+    #: Full platter rotation period in seconds (7200 RPM -> 8.33 ms).
+    rotation_period: float = 60.0 / 7200.0
+    #: Sustained media transfer rate, bytes/second.
+    transfer_rate: float = 78 * MiB
+    #: Seek curve; None selects the 250 GB default profile.
+    seek_profile: SeekProfile | None = None
+    #: "sampled" draws the rotational delay uniformly in [0, period);
+    #: "expected" always charges half a rotation (deterministic tests).
+    rotation_mode: str = "sampled"
+
+    def __post_init__(self) -> None:
+        if self.rotation_period <= 0:
+            raise ConfigError("rotation_period must be positive")
+        if self.transfer_rate <= 0:
+            raise ConfigError("transfer_rate must be positive")
+        if self.rotation_mode not in ("sampled", "expected"):
+            raise ConfigError(f"bad rotation_mode {self.rotation_mode!r}")
+
+    @property
+    def avg_rotation(self) -> float:
+        """``R`` of the cost model: average rotational delay."""
+        return self.rotation_period / 2.0
+
+    @property
+    def beta(self) -> float:
+        """Cost of accessing one byte (cost model ``beta_D``), s/byte."""
+        return 1.0 / self.transfer_rate
+
+    def profile(self) -> SeekProfile:
+        return self.seek_profile or SeekProfile.default_250gb()
+
+
+class HDD(StorageDevice):
+    """Mechanical disk with head-position state — pure mechanics.
+
+    Sequential continuation (request starting exactly where the head
+    stopped) streams at the media rate with no positioning cost.  Any
+    other offset pays ``F(d)`` seek plus a rotational delay.  Host-side
+    effects (page cache, readahead, write-behind) are modelled by the
+    file server's :class:`~repro.pfs.oscache.OSCache`, not here.
+    """
+
+    kind = "hdd"
+
+    def __init__(self, spec: HDDSpec | None = None, name: str = ""):
+        self.spec = spec or HDDSpec()
+        super().__init__(self.spec.capacity_bytes, name=name)
+        self._profile = self.spec.profile()
+        self._head: int | None = None  # byte address after last request
+        self.seek_count = 0
+
+    @property
+    def head_position(self) -> int | None:
+        """Byte address the head currently sits at (None before use)."""
+        return self._head
+
+    def reset(self) -> None:
+        super().reset()
+        self._head = None
+        self.seek_count = 0
+
+    def positioning_time(
+        self, offset: int, rng: random.Random | None = None
+    ) -> float:
+        """Seek + rotation cost of moving the head to ``offset``.
+
+        Exposed separately so the profiler can measure it directly.
+        """
+        if self._head is None:
+            distance = offset  # first access: from the landing zone
+        else:
+            distance = abs(offset - self._head)
+        if distance == 0:
+            return 0.0
+        seek = self._profile.seek_time(distance)
+        if self.spec.rotation_mode == "sampled" and rng is not None:
+            rotation = rng.uniform(0.0, self.spec.rotation_period)
+        else:
+            rotation = self.spec.avg_rotation
+        return seek + rotation
+
+    def _service_time(
+        self, op: str, offset: int, size: int, rng: random.Random | None
+    ) -> float:
+        positioning = self.positioning_time(offset, rng)
+        if positioning > 0.0:
+            self.seek_count += 1
+        transfer = size * self.spec.beta
+        self._head = offset + size
+        return positioning + transfer

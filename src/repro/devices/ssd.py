@@ -1,0 +1,81 @@
+"""SSD timing model: per-op latency + transfer, locality-insensitive."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+from ..errors import ConfigError
+from ..units import GiB, MiB
+from .base import OP_READ, StorageDevice
+
+
+@dataclasses.dataclass(frozen=True)
+class SSDSpec:
+    """Parameters of one SSD.
+
+    Defaults approximate the paper's OCZ RevoDrive X2 (100 GB, PCIe
+    x4, entry-level): fast reads, somewhat slower writes, and — the
+    property the whole paper leans on — no positioning penalty for
+    random access.
+    """
+
+    capacity_bytes: int = 100 * GiB
+    #: Fixed per-operation latency for reads, seconds.
+    read_latency: float = 60e-6
+    #: Fixed per-operation latency for writes (includes FTL work).
+    write_latency: float = 120e-6
+    #: Sustained read transfer rate, bytes/second.
+    read_rate: float = 540 * MiB
+    #: Sustained write transfer rate, bytes/second.
+    write_rate: float = 480 * MiB
+    #: Internal channels: large transfers are split across channels, so
+    #: transfer time stops improving below one page per channel.
+    channels: int = 4
+    #: Flash page size (granularity of internal parallelism).
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.read_latency < 0 or self.write_latency < 0:
+            raise ConfigError("SSD latencies must be non-negative")
+        if self.read_rate <= 0 or self.write_rate <= 0:
+            raise ConfigError("SSD transfer rates must be positive")
+        if self.channels < 1 or self.page_size < 1:
+            raise ConfigError("channels and page_size must be >= 1")
+
+    def beta(self, op: str) -> float:
+        """Cost of accessing one byte (cost model ``beta_C``), s/byte."""
+        rate = self.read_rate if op == OP_READ else self.write_rate
+        return 1.0 / rate
+
+    def latency(self, op: str) -> float:
+        return self.read_latency if op == OP_READ else self.write_latency
+
+
+class SSD(StorageDevice):
+    """Solid-state drive: latency + size/bandwidth, no head mechanics.
+
+    Small requests cannot exploit all internal channels: a request
+    touching ``p`` pages uses ``min(p, channels)`` channels, so the
+    transfer term is ``size * beta * channels / used``-adjusted.  The
+    sustained rates in :class:`SSDSpec` are the *full-parallelism*
+    rates, which large requests achieve.
+    """
+
+    kind = "ssd"
+
+    def __init__(self, spec: SSDSpec | None = None, name: str = ""):
+        self.spec = spec or SSDSpec()
+        super().__init__(self.spec.capacity_bytes, name=name)
+
+    def _service_time(
+        self, op: str, offset: int, size: int, rng: random.Random | None
+    ) -> float:
+        spec = self.spec
+        if size == 0:
+            return spec.latency(op)
+        pages = max(1, math.ceil(size / spec.page_size))
+        used_channels = min(pages, spec.channels)
+        transfer = size * spec.beta(op) * (spec.channels / used_channels)
+        return spec.latency(op) + transfer

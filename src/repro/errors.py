@@ -1,0 +1,83 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine detected an illegal state."""
+
+
+class ProcessKilled(SimulationError):
+    """Raised inside a simulated process when it is externally killed."""
+
+
+class DeviceError(ReproError):
+    """A storage device model rejected a request."""
+
+
+class NetworkError(ReproError):
+    """The network fabric rejected a transfer."""
+
+
+class PFSError(ReproError):
+    """Parallel-file-system level failure (bad path, bad offset, ...)."""
+
+
+class FileNotFound(PFSError):
+    """The named file does not exist in the parallel file system."""
+
+    def __init__(self, path: str):
+        super().__init__(f"no such file in PFS: {path!r}")
+        self.path = path
+
+
+class FileExists(PFSError):
+    """The named file already exists and exclusive creation was asked."""
+
+    def __init__(self, path: str):
+        super().__init__(f"file already exists in PFS: {path!r}")
+        self.path = path
+
+
+class KVStoreError(ReproError):
+    """Key-value store (DMT substrate) failure."""
+
+
+class KVStoreClosed(KVStoreError):
+    """Operation attempted on a closed store."""
+
+
+class LockTimeout(KVStoreError):
+    """A lock could not be acquired within the configured budget."""
+
+
+class MPIIOError(ReproError):
+    """MPI-IO middleware usage error (bad handle, closed file, ...)."""
+
+
+class CacheError(ReproError):
+    """S4D-Cache internal error (space accounting, mapping corruption)."""
+
+
+class CacheSpaceExhausted(CacheError):
+    """No free and no clean-evictable space is available in CServers."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given impossible parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver failed to produce its table/figure."""

@@ -1,0 +1,48 @@
+"""Experiment drivers: one per table/figure of the paper's §V.
+
+Each driver reproduces a figure or table at a configurable ``scale``
+(1.0 = the paper's full problem sizes, which are impractical for a
+pure-Python discrete-event simulation; the defaults shrink file sizes
+and process counts while preserving every ratio that shapes the
+result — request-size sweeps, server counts, the 20 % cache fraction,
+the 6:4 sequential:random instance mix).
+
+Run everything and regenerate EXPERIMENTS.md with::
+
+    python -m repro.experiments [--scale S] [--out EXPERIMENTS.md]
+"""
+
+from .harness import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    Series,
+    get_experiment,
+    list_experiments,
+)
+
+# Importing the modules registers the drivers.
+from . import (  # noqa: F401  (registration side effects)
+    ablations,
+    carl_comparison,
+    fig1_motivation,
+    fig6_ior_reqsize,
+    fig7_ior_procs,
+    fig8_cservers,
+    fig9_hpio,
+    fig10_tileio,
+    fig11_overhead,
+    memcache_extension,
+    table3_distribution,
+    table4_capacity,
+    metadata_overhead,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "Series",
+    "get_experiment",
+    "list_experiments",
+]

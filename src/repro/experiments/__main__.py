@@ -1,0 +1,67 @@
+"""CLI: run the experiment suite and write EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.experiments                 # all, default scales
+    python -m repro.experiments --scale 0.25    # faster
+    python -m repro.experiments --only fig6a fig6b
+    python -m repro.experiments --out /tmp/EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import list_experiments
+from .report import render_markdown, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce every table and figure of the paper.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="problem-size multiplier (default: per-experiment)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None, metavar="EXP",
+        help=f"subset of experiments; known: {', '.join(list_experiments())}",
+    )
+    parser.add_argument(
+        "--out", default="EXPERIMENTS.md",
+        help="output markdown path (default: EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in list_experiments():
+            print(exp_id)
+        return 0
+
+    results = run_all(
+        scale=args.scale, only=args.only,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    scale_note = (
+        f"--scale {args.scale}" if args.scale is not None
+        else "per-experiment defaults"
+    )
+    document = render_markdown(results, scale_note)
+    with open(args.out, "w") as fh:
+        fh.write(document)
+    failed = [exp_id for exp_id, r in results.items() if not r.ok]
+    print(f"wrote {args.out} ({len(results)} experiments)")
+    if failed:
+        print(f"shape-check failures: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Plain-text bar charts for experiment results.
+
+EXPERIMENTS.md embeds these so the regenerated "figures" are readable
+without a plotting stack (the repository is dependency-light and runs
+offline).
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentResult
+
+#: Glyphs per series, cycled.
+_GLYPHS = "█▓▒░"
+
+
+def render_bars(result: ExperimentResult, width: int = 46) -> str:
+    """Horizontal grouped bar chart of every series in the result."""
+    series = result.series
+    peak = max((max(s.y) for s in series if s.y), default=0.0)
+    if peak <= 0:
+        return "(no positive data to chart)"
+    label_width = max(
+        [len(str(x)) for s in series for x in s.x] + [len(result.x_label)]
+    )
+    lines = [
+        f"{result.y_label}  (each bar: {peak:.1f} {result.y_label.split()[-1]}"
+        f" = {width} chars)"
+    ]
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(legend)
+    xs = series[0].x
+    for idx, x in enumerate(xs):
+        for s_idx, s in enumerate(series):
+            value = s.y[idx]
+            bar = _GLYPHS[s_idx % len(_GLYPHS)] * max(
+                0, round(value / peak * width)
+            )
+            label = str(x) if s_idx == 0 else ""
+            lines.append(
+                f"{label.rjust(label_width)} |{bar} {value:.1f}"
+            )
+    return "\n".join(lines)

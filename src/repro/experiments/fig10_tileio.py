@@ -1,0 +1,100 @@
+"""Fig. 10 — MPI-Tile-IO throughput vs process count, stock vs S4D.
+
+Paper: 10x10 elements per tile, 32 KB elements, 100-400 processes.
+Claims: aggregated bandwidth +21-33 % for writes and +18-31 % for
+reads; gains smaller than IOR because the nested-stride pattern "yields
+better data locality than that of the IOR test".
+"""
+
+from __future__ import annotations
+
+from ..cluster import run_workload
+from ..units import KiB
+from .common import scale_int, testbed
+from .harness import Experiment, ExperimentResult, Series, mb, register
+from ..workloads import TileIOWorkload
+
+
+#: shared measurement cache across fig10a/fig10b.
+_MEASUREMENTS: dict = {}
+
+
+class _Fig10Base(Experiment):
+    #: Paper sweeps 100-400 ranks; scaled to stay tractable.
+    PROCESS_COUNTS = [16, 36, 64, 100]
+    ELEMENTS = 10
+    ELEMENT_SIZE = 32 * KiB
+    default_scale = 0.5
+
+    op: str = ""
+    PAPER_CLAIMS: list[str] = []
+
+    def _measure(self, processes: int, scale: float) -> dict:
+        """One process-count point, memoised across fig10a/fig10b."""
+        key = (processes, scale)
+        if key in _MEASUREMENTS:
+            return _MEASUREMENTS[key]
+        elements = scale_int(self.ELEMENTS, scale, minimum=4)
+        spec = testbed(num_nodes=32)
+        workload = TileIOWorkload(
+            processes,
+            elements_x=elements,
+            elements_y=elements,
+            element_size=self.ELEMENT_SIZE,
+            seed=29,
+        )
+        stock = run_workload(spec, workload, s4d=False)
+        s4d = run_workload(spec, workload, s4d=True)
+        point = {
+            "write": (mb(stock.write_bandwidth), mb(s4d.write_bandwidth)),
+            "read": (mb(stock.read_bandwidth), mb(s4d.read_bandwidth)),
+        }
+        _MEASUREMENTS[key] = point
+        return point
+
+    def run(self, scale: float | None = None) -> ExperimentResult:
+        scale = self.default_scale if scale is None else scale
+        stock_y, s4d_y = [], []
+        for processes in self.PROCESS_COUNTS:
+            stock, s4d = self._measure(processes, scale)[self.op]
+            stock_y.append(stock)
+            s4d_y.append(s4d)
+        return ExperimentResult(
+            exp_id=self.exp_id,
+            title=self.title,
+            x_label="processes",
+            y_label=f"{self.op} MB/s",
+            series=[
+                Series("stock", self.PROCESS_COUNTS, stock_y),
+                Series("s4d", self.PROCESS_COUNTS, s4d_y),
+            ],
+            paper_claims=self.PAPER_CLAIMS,
+        )
+
+    def check_shape(self, result: ExperimentResult) -> list[str]:
+        failures = []
+        imp = result.improvements("stock", "s4d")
+        if max(imp) < 10.0:
+            failures.append(
+                f"best improvement is {max(imp):.1f}% (<10%); paper "
+                "reports 18-33%"
+            )
+        if min(imp) < -10.0:
+            failures.append(f"S4D regressed by {min(imp):.1f}%")
+        return failures
+
+
+@register
+class Fig10aWrite(_Fig10Base):
+    exp_id = "fig10a"
+    title = "MPI-Tile-IO write throughput vs process count"
+    op = "write"
+    PAPER_CLAIMS = ["write bandwidth +21-33% across 100-400 processes"]
+
+
+@register
+class Fig10bRead(_Fig10Base):
+    exp_id = "fig10b"
+    title = "MPI-Tile-IO read throughput vs process count (2nd run)"
+    op = "read"
+    PAPER_CLAIMS = ["read bandwidth +18-31% across 100-400 processes"]

@@ -1,0 +1,129 @@
+"""Fig. 6 — IOR throughput vs request size, stock vs S4D-Cache.
+
+Paper setup: 10 IOR instances (6 sequential + 4 random) created one by
+one, 32 processes, each instance writing/reading a shared 2 GB file;
+cache capacity 20 % of the application's data.  Claims:
+
+- write improvement 51.3 / 49.1 / 39.2 / 32.5 % at 8/16/32/64 KB;
+- ~0 improvement at 4096 KB;
+- read improvement up to 184.1 % at 8 KB (second run), larger than
+  the write improvement because SSD reads beat SSD writes.
+
+Fig. 6a (writes) and Fig. 6b (reads) come from the same campaign, so
+the measurement pass is shared (memoised) between the two drivers.
+"""
+
+from __future__ import annotations
+
+from ..cluster import run_workload
+from ..units import KiB
+from .common import campaign_rpr, ior_campaign, testbed
+from .harness import Experiment, ExperimentResult, Series, mb, register
+
+#: (processes, request, scale, ...) -> {"write": (stock, s4d), "read": ...}.
+_MEASUREMENTS: dict = {}
+
+
+def measure_point(processes, request, scale, instances=10, sequential=6):
+    """One campaign point, memoised (fig6a/fig6b share it)."""
+    key = (processes, request, scale, instances, sequential)
+    if key in _MEASUREMENTS:
+        return _MEASUREMENTS[key]
+    spec = testbed(num_nodes=processes)
+    campaign = ior_campaign(
+        processes, request,
+        instances=instances, sequential=sequential,
+        requests_per_rank=campaign_rpr(scale),
+    )
+    # IOR's real structure: each instance writes then reads; reads are
+    # measured on the second pass (§V.A).
+    stock = run_workload(spec, campaign, s4d=False, phases=("interleaved",))
+    s4d = run_workload(spec, campaign, s4d=True, phases=("interleaved",))
+    point = {
+        "write": (mb(stock.write_bandwidth), mb(s4d.write_bandwidth)),
+        "read": (mb(stock.read_bandwidth), mb(s4d.read_bandwidth)),
+    }
+    _MEASUREMENTS[key] = point
+    return point
+
+
+class _Fig6Base(Experiment):
+    SIZES = [8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 4096 * KiB]
+    PROCESSES = 8
+    INSTANCES = 10
+    SEQUENTIAL = 6
+    default_scale = 0.5
+
+    #: "write" or "read" (read == second run, per §V.A).
+    op: str = ""
+    PAPER_CLAIMS: list[str] = []
+
+    def run(self, scale: float | None = None) -> ExperimentResult:
+        scale = self.default_scale if scale is None else scale
+        sizes, stock_y, s4d_y = [], [], []
+        for request in self.SIZES:
+            point = measure_point(
+                self.PROCESSES, request, scale,
+                self.INSTANCES, self.SEQUENTIAL,
+            )
+            stock, s4d = point[self.op]
+            sizes.append(request // KiB)
+            stock_y.append(stock)
+            s4d_y.append(s4d)
+        return ExperimentResult(
+            exp_id=self.exp_id,
+            title=self.title,
+            x_label="request (KB)",
+            y_label=f"{self.op} MB/s",
+            series=[
+                Series("stock", sizes, stock_y),
+                Series("s4d", sizes, s4d_y),
+            ],
+            paper_claims=self.PAPER_CLAIMS,
+        )
+
+    def check_shape(self, result: ExperimentResult) -> list[str]:
+        failures = []
+        imp = result.improvements("stock", "s4d")
+        sizes = result.get("stock").x
+        # Meaningful gains for small requests.
+        if imp[0] < 15.0:
+            failures.append(
+                f"improvement at {sizes[0]}KB is {imp[0]:.1f}% (<15%)"
+            )
+        # The gain shrinks to ~nothing at 4096KB.
+        if imp[-1] > 15.0:
+            failures.append(
+                f"improvement at 4096KB is {imp[-1]:.1f}% (should be ~0)"
+            )
+        if imp[-1] >= imp[0]:
+            failures.append(
+                f"improvement did not decay: {imp[0]:.1f}% at {sizes[0]}KB "
+                f"vs {imp[-1]:.1f}% at 4096KB"
+            )
+        # S4D never loses badly anywhere.
+        if min(imp) < -10.0:
+            failures.append(f"S4D regressed by {min(imp):.1f}%")
+        return failures
+
+
+@register
+class Fig6aWrite(_Fig6Base):
+    exp_id = "fig6a"
+    title = "IOR write throughput vs request size (stock vs S4D)"
+    op = "write"
+    PAPER_CLAIMS = [
+        "write improvement 51.3/49.1/39.2/32.5% at 8/16/32/64KB",
+        "write improvement ~0% at 4096KB",
+    ]
+
+
+@register
+class Fig6bRead(_Fig6Base):
+    exp_id = "fig6b"
+    title = "IOR read throughput vs request size (stock vs S4D, 2nd run)"
+    op = "read"
+    PAPER_CLAIMS = [
+        "read improvement up to 184.1% at 8KB (second run)",
+        "read improvement decays with request size",
+    ]

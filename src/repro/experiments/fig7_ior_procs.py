@@ -1,0 +1,113 @@
+"""Fig. 7 — IOR throughput vs number of processes, stock vs S4D.
+
+Paper setup: 16-128 processes, 16 KB requests, disjoint regions per
+process.  Claims: write improvement 35.4-49.5 % at every process
+count; absolute bandwidth decreases as processes increase (more
+competition per file server); read behaves similarly.
+"""
+
+from __future__ import annotations
+
+from ..cluster import run_workload
+from ..units import KiB
+from .common import campaign_rpr, ior_campaign, testbed
+from .harness import Experiment, ExperimentResult, Series, mb, register
+
+
+#: shared measurement cache across fig7a/fig7b.
+_MEASUREMENTS: dict = {}
+
+
+class _Fig7Base(Experiment):
+    #: Paper sweeps 16..128; scaled to stay tractable in pure Python.
+    #: Starting at the server count keeps every point in the paper's
+    #: "competition" regime (processes >= file servers).
+    PROCESS_COUNTS = [8, 16, 24, 32]
+    REQUEST = 16 * KiB
+    INSTANCES = 5
+    SEQUENTIAL = 3
+    default_scale = 0.5
+
+    op: str = ""
+    PAPER_CLAIMS: list[str] = []
+
+    def _measure(self, processes: int, scale: float) -> dict:
+        """One process-count point, memoised across fig7a/fig7b."""
+        key = (processes, scale, self.INSTANCES, self.SEQUENTIAL)
+        if key in _MEASUREMENTS:
+            return _MEASUREMENTS[key]
+        spec = testbed(num_nodes=min(processes, 32))
+        instances = ior_campaign(
+            processes, self.REQUEST,
+            instances=self.INSTANCES, sequential=self.SEQUENTIAL,
+            requests_per_rank=campaign_rpr(scale),
+        )
+        stock = run_workload(spec, instances, s4d=False,
+                             phases=("interleaved",))
+        s4d = run_workload(spec, instances, s4d=True,
+                           phases=("interleaved",))
+        point = {
+            "write": (mb(stock.write_bandwidth), mb(s4d.write_bandwidth)),
+            "read": (mb(stock.read_bandwidth), mb(s4d.read_bandwidth)),
+        }
+        _MEASUREMENTS[key] = point
+        return point
+
+    def run(self, scale: float | None = None) -> ExperimentResult:
+        scale = self.default_scale if scale is None else scale
+        stock_y, s4d_y = [], []
+        for processes in self.PROCESS_COUNTS:
+            stock, s4d = self._measure(processes, scale)[self.op]
+            stock_y.append(stock)
+            s4d_y.append(s4d)
+        return ExperimentResult(
+            exp_id=self.exp_id,
+            title=self.title,
+            x_label="processes",
+            y_label=f"{self.op} MB/s",
+            series=[
+                Series("stock", self.PROCESS_COUNTS, stock_y),
+                Series("s4d", self.PROCESS_COUNTS, s4d_y),
+            ],
+            paper_claims=self.PAPER_CLAIMS,
+        )
+
+    def check_shape(self, result: ExperimentResult) -> list[str]:
+        failures = []
+        imp = result.improvements("stock", "s4d")
+        for processes, improvement in zip(self.PROCESS_COUNTS, imp):
+            if improvement < 10.0:
+                failures.append(
+                    f"improvement at {processes} processes is "
+                    f"{improvement:.1f}% (<10%)"
+                )
+        # Per-process competition: once processes far outnumber the
+        # eight servers, bandwidth must stop growing (the paper sees
+        # it decrease from 16 to 128 processes).
+        stock = result.get("stock").y
+        if stock[-1] > 1.35 * stock[1]:
+            failures.append(
+                "stock bandwidth kept growing between "
+                f"{self.PROCESS_COUNTS[1]} and {self.PROCESS_COUNTS[-1]} "
+                "processes; expected competition to flatten/shrink it"
+            )
+        return failures
+
+
+@register
+class Fig7aWrite(_Fig7Base):
+    exp_id = "fig7a"
+    title = "IOR write throughput vs process count (stock vs S4D)"
+    op = "write"
+    PAPER_CLAIMS = [
+        "write improvement 35.4-49.5% across 16-128 processes",
+        "absolute bandwidth decreases as processes increase",
+    ]
+
+
+@register
+class Fig7bRead(_Fig7Base):
+    exp_id = "fig7b"
+    title = "IOR read throughput vs process count (stock vs S4D, 2nd run)"
+    op = "read"
+    PAPER_CLAIMS = ["read trend similar to write (Fig. 7b)"]

@@ -1,0 +1,110 @@
+"""Fig. 9 — HPIO throughput vs region spacing, stock vs S4D.
+
+Paper: 16 processes, region count 4096, region size 8 KB, spacing
+0-4 KB (0 == contiguous/sequential).  Claims: improvement 18/28/30/33 %
+as spacing grows; gains smaller than IOR's because HPIO's access is
+noncontiguous but "not as random as the IOR benchmark".
+"""
+
+from __future__ import annotations
+
+from ..cluster import run_workload
+from ..units import KiB
+from .common import scale_int, testbed
+from .harness import Experiment, ExperimentResult, Series, mb, register
+from ..workloads import HPIOWorkload
+
+
+#: shared measurement cache across fig9a/fig9b.
+_MEASUREMENTS: dict = {}
+
+
+class _Fig9Base(Experiment):
+    SPACINGS = [0, 1 * KiB, 2 * KiB, 4 * KiB]
+    PROCESSES = 8
+    REGION_SIZE = 8 * KiB
+    REGION_COUNT = 1024  # paper: 4096; scaled via `scale`
+    default_scale = 0.5
+
+    op: str = ""
+    PAPER_CLAIMS: list[str] = []
+
+    def _measure(self, spacing: int, scale: float) -> dict:
+        """One spacing point, memoised across fig9a/fig9b."""
+        key = (spacing, scale)
+        if key in _MEASUREMENTS:
+            return _MEASUREMENTS[key]
+        region_count = scale_int(self.REGION_COUNT, scale, minimum=64)
+        spec = testbed(num_nodes=self.PROCESSES)
+        workload = HPIOWorkload(
+            self.PROCESSES,
+            region_count=region_count,
+            region_size=self.REGION_SIZE,
+            region_spacing=spacing,
+            seed=23,
+        )
+        stock = run_workload(spec, workload, s4d=False)
+        s4d = run_workload(spec, workload, s4d=True)
+        point = {
+            "write": (mb(stock.write_bandwidth), mb(s4d.write_bandwidth)),
+            "read": (mb(stock.read_bandwidth), mb(s4d.read_bandwidth)),
+        }
+        _MEASUREMENTS[key] = point
+        return point
+
+    def run(self, scale: float | None = None) -> ExperimentResult:
+        scale = self.default_scale if scale is None else scale
+        stock_y, s4d_y = [], []
+        for spacing in self.SPACINGS:
+            stock, s4d = self._measure(spacing, scale)[self.op]
+            stock_y.append(stock)
+            s4d_y.append(s4d)
+        spacings_kb = [s // KiB for s in self.SPACINGS]
+        return ExperimentResult(
+            exp_id=self.exp_id,
+            title=self.title,
+            x_label="region spacing (KB)",
+            y_label=f"{self.op} MB/s",
+            series=[
+                Series("stock", spacings_kb, stock_y),
+                Series("s4d", spacings_kb, s4d_y),
+            ],
+            paper_claims=self.PAPER_CLAIMS,
+        )
+
+    def check_shape(self, result: ExperimentResult) -> list[str]:
+        failures = []
+        imp = result.improvements("stock", "s4d")
+        # Noncontiguous cases benefit meaningfully.
+        if imp[-1] < 10.0:
+            failures.append(
+                f"improvement at max spacing is {imp[-1]:.1f}% (<10%)"
+            )
+        # Benefit grows (or at least does not shrink a lot) with spacing.
+        if imp[-1] < imp[0] - 10.0:
+            failures.append(
+                f"improvement shrank with spacing: {imp[0]:.1f}% -> "
+                f"{imp[-1]:.1f}%"
+            )
+        if min(imp) < -10.0:
+            failures.append(f"S4D regressed by {min(imp):.1f}%")
+        return failures
+
+
+@register
+class Fig9aWrite(_Fig9Base):
+    exp_id = "fig9a"
+    title = "HPIO write throughput vs region spacing (stock vs S4D)"
+    op = "write"
+    PAPER_CLAIMS = [
+        "write improvement 18/28/30/33% for spacing 0/1/2/4KB",
+        "gains smaller than IOR (HPIO less random)",
+    ]
+
+
+@register
+class Fig9bRead(_Fig9Base):
+    exp_id = "fig9b"
+    title = "HPIO read throughput vs region spacing (stock vs S4D, 2nd run)"
+    op = "read"
+    PAPER_CLAIMS = ["read trend similar to write (Fig. 9b)"]

@@ -1,0 +1,142 @@
+"""Experiment infrastructure: results, registry, shape checks."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing
+
+from ..errors import ExperimentError
+from ..units import MiB
+
+
+@dataclasses.dataclass
+class Series:
+    """One line of a figure: label + (x, y) points."""
+
+    label: str
+    x: list
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ExperimentError(
+                f"series {self.label!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """The reproduced table/figure plus provenance."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series]
+    #: What the paper reports (free-form bullet strings).
+    paper_claims: list[str] = dataclasses.field(default_factory=list)
+    #: Observations from this run (filled by the driver).
+    notes: list[str] = dataclasses.field(default_factory=list)
+    #: Shape-check failures (empty == reproduced).
+    failures: list[str] = dataclasses.field(default_factory=list)
+    #: Extra tables keyed by name (e.g. Table III distributions).
+    extras: dict = dataclasses.field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise ExperimentError(f"{self.exp_id}: no series {label!r}")
+
+    def improvements(self, base: str, new: str) -> list[float]:
+        """Percent improvement of series ``new`` over ``base`` per x."""
+        b, n = self.get(base), self.get(new)
+        return [
+            (nv / bv - 1.0) * 100.0 if bv > 0 else 0.0
+            for bv, nv in zip(b.y, n.y)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_text(self) -> str:
+        """Render the figure/table as an aligned text table."""
+        lines = [f"{self.exp_id}: {self.title}"]
+        header = [self.x_label] + [s.label for s in self.series]
+        rows = [header]
+        for i, x in enumerate(self.series[0].x):
+            row = [str(x)]
+            for series in self.series:
+                row.append(f"{series.y[i]:.2f}")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for name, table in self.extras.items():
+            lines.append(f"-- {name} --")
+            lines.append(str(table))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for failure in self.failures:
+            lines.append(f"SHAPE MISMATCH: {failure}")
+        return "\n".join(lines)
+
+
+class Experiment(abc.ABC):
+    """Base class; subclasses register themselves by exp_id."""
+
+    #: e.g. "fig6a"; also the registry key and bench target name.
+    exp_id: str = ""
+    title: str = ""
+    #: 1.0 reproduces the paper's sizes; the default is tractable.
+    default_scale: float = 1.0
+
+    @abc.abstractmethod
+    def run(self, scale: float | None = None) -> ExperimentResult:
+        """Execute the experiment and return the reproduced artefact."""
+
+    def check_shape(self, result: ExperimentResult) -> list[str]:
+        """Return shape-mismatch descriptions (empty == reproduced).
+
+        Default: nothing to check; drivers override.
+        """
+        return []
+
+    def run_checked(self, scale: float | None = None) -> ExperimentResult:
+        result = self.run(scale)
+        result.failures = self.check_shape(result)
+        return result
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(cls: type[Experiment]) -> type[Experiment]:
+    """Class decorator: instantiate and register an experiment."""
+    instance = cls()
+    if not instance.exp_id:
+        raise ExperimentError(f"{cls.__name__} has no exp_id")
+    if instance.exp_id in REGISTRY:
+        raise ExperimentError(f"duplicate experiment id {instance.exp_id!r}")
+    REGISTRY[instance.exp_id] = instance
+    return cls
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; have {sorted(REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def mb(value_bytes_per_s: float) -> float:
+    """Bytes/s -> MB/s for reporting."""
+    return value_bytes_per_s / MiB

@@ -1,0 +1,169 @@
+"""Generic byte-range interval map.
+
+Maps half-open byte ranges ``[start, end)`` to values, keeping entries
+non-overlapping and sorted.  Writing over existing ranges splits or
+truncates them.  This is the workhorse behind:
+
+- file content tracking (range -> write stamp) used to verify data
+  consistency through the cache, and
+- the DMT (range in the original file -> location in the cache file).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+T = typing.TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval(typing.Generic[T]):
+    """One mapped range ``[start, end)`` with its value."""
+
+    start: int
+    end: int
+    value: T
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"bad interval [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class IntervalMap(typing.Generic[T]):
+    """Sorted, non-overlapping map from byte ranges to values."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._items: list[Interval[T]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> typing.Iterator[Interval[T]]:
+        return iter(self._items)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of mapped range lengths."""
+        return sum(item.length for item in self._items)
+
+    # -- mutation --------------------------------------------------------
+    def set(self, start: int, end: int, value: T) -> None:
+        """Map ``[start, end)`` to ``value``, overwriting overlaps."""
+        if end <= start or start < 0:
+            raise ValueError(f"bad range [{start}, {end})")
+        self.clear_range(start, end)
+        idx = bisect.bisect_left(self._starts, start)
+        self._starts.insert(idx, start)
+        self._items.insert(idx, Interval(start, end, value))
+
+    def clear_range(self, start: int, end: int) -> list[Interval[T]]:
+        """Unmap ``[start, end)``; returns the removed (clipped) pieces."""
+        if end <= start:
+            return []
+        removed: list[Interval[T]] = []
+        idx = bisect.bisect_right(self._starts, start) - 1
+        if idx < 0:
+            idx = 0
+        keep_left: Interval[T] | None = None
+        keep_right: Interval[T] | None = None
+        first_removed = None
+        while idx < len(self._items):
+            item = self._items[idx]
+            if item.start >= end:
+                break
+            if item.end <= start:
+                idx += 1
+                continue
+            # Overlapping item: clip out the middle.
+            if item.start < start:
+                keep_left = Interval(item.start, start, item.value)
+            if item.end > end:
+                keep_right = Interval(end, item.end, item.value)
+            removed.append(
+                Interval(max(item.start, start), min(item.end, end), item.value)
+            )
+            if first_removed is None:
+                first_removed = idx
+            del self._starts[idx]
+            del self._items[idx]
+        insert_at = first_removed if first_removed is not None else bisect.bisect_left(
+            self._starts, start
+        )
+        for piece in (keep_right, keep_left):
+            if piece is not None:
+                self._starts.insert(insert_at, piece.start)
+                self._items.insert(insert_at, piece)
+        return removed
+
+    def remove_exact(self, start: int, end: int) -> Interval[T]:
+        """Remove an interval that must exist with these exact bounds."""
+        idx = bisect.bisect_left(self._starts, start)
+        if idx < len(self._items):
+            item = self._items[idx]
+            if item.start == start and item.end == end:
+                del self._starts[idx]
+                del self._items[idx]
+                return item
+        raise KeyError(f"no exact interval [{start}, {end})")
+
+    # -- queries -----------------------------------------------------------
+    def lookup(
+        self, start: int, end: int
+    ) -> list[tuple[int, int, T | None]]:
+        """Cover ``[start, end)`` with mapped and unmapped segments.
+
+        Returns ``(seg_start, seg_end, value_or_None)`` tuples in order,
+        exactly tiling the queried range.  ``None`` marks gaps.
+        """
+        if end <= start:
+            return []
+        out: list[tuple[int, int, T | None]] = []
+        pos = start
+        idx = bisect.bisect_right(self._starts, start) - 1
+        if idx < 0:
+            idx = 0
+        while pos < end and idx < len(self._items):
+            item = self._items[idx]
+            if item.end <= pos:
+                idx += 1
+                continue
+            if item.start >= end:
+                break
+            if item.start > pos:
+                out.append((pos, item.start, None))
+                pos = item.start
+            seg_end = min(item.end, end)
+            out.append((pos, seg_end, item.value))
+            pos = seg_end
+            idx += 1
+        if pos < end:
+            out.append((pos, end, None))
+        return out
+
+    def covered(self, start: int, end: int) -> bool:
+        """True if every byte in ``[start, end)`` is mapped."""
+        return all(v is not None for _, _, v in self.lookup(start, end))
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """True if any byte in ``[start, end)`` is mapped."""
+        return any(v is not None for _, _, v in self.lookup(start, end))
+
+    def value_at(self, offset: int) -> T | None:
+        """Value mapped at a single byte offset, or None."""
+        segs = self.lookup(offset, offset + 1)
+        return segs[0][2] if segs else None
+
+    def check_invariants(self) -> None:
+        """Assert sortedness and non-overlap (used by property tests)."""
+        for a, b in zip(self._items, self._items[1:]):
+            if a.end > b.start:
+                raise AssertionError(f"overlap: {a} then {b}")
+        if self._starts != [i.start for i in self._items]:
+            raise AssertionError("starts index out of sync")

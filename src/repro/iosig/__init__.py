@@ -1,0 +1,37 @@
+"""I/O pattern tracing and analysis (the paper's IOSIG, ref [33]).
+
+§V.B: "the accessed addresses of requests on DServers and CServers are
+tracked using IOSIG, an I/O pattern analysis tool" — Table III is an
+IOSIG request-distribution report over a 5-second window.
+
+- :class:`Tracer` — records every middleware-level request with its
+  routing outcome;
+- :mod:`repro.iosig.analysis` — windowed request distributions
+  (Table III), randomness metrics and access-pattern signatures
+  (sequential / strided / random detection).
+"""
+
+from .analysis import (
+    detect_signature,
+    randomness_ratio,
+    request_distribution,
+)
+from .signature import (
+    RankSignature,
+    TraceReport,
+    analyse_trace,
+    extract_rank_signature,
+)
+from .tracer import TraceRecord, Tracer
+
+__all__ = [
+    "RankSignature",
+    "TraceRecord",
+    "TraceReport",
+    "Tracer",
+    "analyse_trace",
+    "detect_signature",
+    "extract_rank_signature",
+    "randomness_ratio",
+    "request_distribution",
+]

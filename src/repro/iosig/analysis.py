@@ -1,0 +1,78 @@
+"""Trace analysis: distributions, randomness, pattern signatures."""
+
+from __future__ import annotations
+
+import statistics
+
+from .tracer import TraceRecord
+
+
+def request_distribution(
+    records: list[TraceRecord],
+) -> tuple[float, float]:
+    """(DServer %, CServer %) of requests by majority target — Table III."""
+    if not records:
+        return (0.0, 0.0)
+    to_c = sum(1 for r in records if r.target == "cservers")
+    total = len(records)
+    return (100.0 * (total - to_c) / total, 100.0 * to_c / total)
+
+
+def byte_distribution(records: list[TraceRecord]) -> tuple[float, float]:
+    """(DServer %, CServer %) of bytes."""
+    d = sum(r.dserver_bytes for r in records)
+    c = sum(r.cserver_bytes for r in records)
+    if d + c == 0:
+        return (0.0, 0.0)
+    return (100.0 * d / (d + c), 100.0 * c / (d + c))
+
+
+def randomness_ratio(records: list[TraceRecord]) -> float:
+    """Fraction of per-rank request transitions that are non-sequential.
+
+    0.0 for a pure stream (every request starts where the previous one
+    ended), approaching 1.0 for fully random offsets.
+    """
+    transitions = 0
+    jumps = 0
+    by_rank: dict[int, list[TraceRecord]] = {}
+    for record in records:
+        by_rank.setdefault(record.rank, []).append(record)
+    for sequence in by_rank.values():
+        sequence.sort(key=lambda r: r.time)
+        for prev, cur in zip(sequence, sequence[1:]):
+            transitions += 1
+            if cur.offset != prev.offset + prev.size:
+                jumps += 1
+    return jumps / transitions if transitions else 0.0
+
+
+def detect_signature(offsets_sizes: list[tuple[int, int]]) -> str:
+    """Classify one rank's access stream (IOSIG-style signature).
+
+    Returns "sequential", "strided(<stride>)" or "random".
+    """
+    if len(offsets_sizes) < 2:
+        return "sequential"
+    gaps = [
+        b_off - (a_off + a_size)
+        for (a_off, a_size), (b_off, _) in zip(offsets_sizes, offsets_sizes[1:])
+    ]
+    if all(g == 0 for g in gaps):
+        return "sequential"
+    if len(set(gaps)) == 1 and gaps[0] > 0:
+        return f"strided({gaps[0]})"
+    # Nested stride: one dominant positive gap plus occasional resets
+    # (e.g. a tiled 2D access wrapping to the next block row).
+    positive = [g for g in gaps if g > 0]
+    if len(positive) >= 2 and len(set(positive)) <= 2:
+        common = statistics.mode(positive)
+        if positive.count(common) >= max(2, round(len(gaps) * 0.6)):
+            return f"strided({common})"
+    return "random"
+
+
+def average_request_size(records: list[TraceRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(r.size for r in records) / len(records)

@@ -1,0 +1,16 @@
+"""Berkeley-DB-like embedded key-value store.
+
+§III.D/§IV.A: the DMT is kept in a Berkeley DB hash table on CServers,
+with synchronous writes "to survive power failures" and DB-level
+locking to "address lock contentions" between concurrently accessing
+processes.  This package provides those three semantics as a substrate:
+
+- :class:`HashDB` — hash-table KV store with a write-ahead log,
+  explicit ``sync``, and simulated ``crash``/``recover``;
+- :class:`LockManager` — FIFO per-key locks for simulated processes.
+"""
+
+from .hashdb import HashDB
+from .locking import LockManager
+
+__all__ = ["HashDB", "LockManager"]

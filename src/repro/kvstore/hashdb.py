@@ -1,0 +1,153 @@
+"""Hash-table key-value store with WAL durability semantics.
+
+The store distinguishes *applied* state (what readers see) from
+*durable* state (what survives a crash).  Mutations append to a
+write-ahead log; :meth:`sync` makes the log durable.  ``sync_mode=
+"always"`` syncs after every mutation — the paper's configuration
+("Changes to the mapping table are synchronously written to the
+storage in order to survive power failures").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..errors import KVStoreClosed, KVStoreError
+
+_PUT = "put"
+_DELETE = "delete"
+
+
+@dataclasses.dataclass(frozen=True)
+class WalRecord:
+    """One durable log record."""
+
+    op: str
+    key: str
+    value: typing.Any = None
+
+
+class HashDB:
+    """An embedded hash-table database file.
+
+    Keys are strings (the paper's mapID encodes application name,
+    process count, rank and original file name into one string key);
+    values are arbitrary picklable objects.
+    """
+
+    def __init__(self, name: str, sync_mode: str = "always"):
+        if sync_mode not in ("always", "manual"):
+            raise KVStoreError(f"bad sync_mode {sync_mode!r}")
+        self.name = name
+        self.sync_mode = sync_mode
+        self._applied: dict[str, typing.Any] = {}
+        self._durable_log: list[WalRecord] = []
+        self._pending: list[WalRecord] = []
+        self._closed = False
+        self.puts = 0
+        self.gets = 0
+        self.syncs = 0
+
+    # -- basic ops -------------------------------------------------------
+    def put(self, key: str, value: typing.Any) -> None:
+        self._check_open()
+        self._pending.append(WalRecord(_PUT, key, value))
+        self._applied[key] = value
+        self.puts += 1
+        if self.sync_mode == "always":
+            self.sync()
+
+    def get(self, key: str, default: typing.Any = None) -> typing.Any:
+        self._check_open()
+        self.gets += 1
+        return self._applied.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        self._check_open()
+        return key in self._applied
+
+    def delete(self, key: str) -> None:
+        self._check_open()
+        if key not in self._applied:
+            raise KVStoreError(f"delete of missing key {key!r}")
+        self._pending.append(WalRecord(_DELETE, key))
+        del self._applied[key]
+        if self.sync_mode == "always":
+            self.sync()
+
+    def keys(self) -> list[str]:
+        self._check_open()
+        return sorted(self._applied)
+
+    def items(self) -> list[tuple[str, typing.Any]]:
+        self._check_open()
+        return sorted(self._applied.items())
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._applied)
+
+    # -- durability -------------------------------------------------------
+    def sync(self) -> int:
+        """Flush pending WAL records to durable storage.
+
+        Returns the number of records made durable (useful for charging
+        metadata-I/O time in the middleware).
+        """
+        self._check_open()
+        flushed = len(self._pending)
+        self._durable_log.extend(self._pending)
+        self._pending.clear()
+        if flushed:
+            self.syncs += 1
+        return flushed
+
+    @property
+    def unsynced_records(self) -> int:
+        return len(self._pending)
+
+    def crash(self) -> None:
+        """Simulate a power failure: lose everything not synced."""
+        self._pending.clear()
+        self._applied = self._replay()
+        self._closed = False
+
+    def recover(self) -> None:
+        """Explicit recovery (idempotent; crash already replays)."""
+        self._applied = self._replay()
+
+    def _replay(self) -> dict[str, typing.Any]:
+        state: dict[str, typing.Any] = {}
+        for record in self._durable_log:
+            if record.op == _PUT:
+                state[record.key] = record.value
+            else:
+                state.pop(record.key, None)
+        return state
+
+    def compact(self) -> None:
+        """Rewrite the durable log as one record per live key."""
+        self._check_open()
+        self.sync()
+        self._durable_log = [
+            WalRecord(_PUT, key, value) for key, value in sorted(self._applied.items())
+        ]
+
+    @property
+    def durable_log_length(self) -> int:
+        return len(self._durable_log)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self.sync()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise KVStoreClosed(f"database {self.name!r} is closed")

@@ -1,0 +1,151 @@
+"""MPI ranks as simulated processes, with barriers and a job runner."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..errors import MPIIOError
+from ..pfs import IOResult
+from .api import IOLayer, MPIFile
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+
+class Barrier:
+    """Reusable MPI_Barrier: all ranks must arrive before any proceeds."""
+
+    def __init__(self, sim: "Simulator", parties: int):
+        if parties < 1:
+            raise MPIIOError(f"barrier needs >= 1 parties: {parties}")
+        self.sim = sim
+        self.parties = parties
+        self._arrived = 0
+        self._gate = sim.event()
+
+    def wait(self):
+        """Process generator: block until every rank has arrived."""
+        self._arrived += 1
+        if self._arrived == self.parties:
+            gate, self._gate = self._gate, self.sim.event()
+            self._arrived = 0
+            gate.succeed()
+            # The releasing rank must not race ahead of the waiters in
+            # the same instant; it also waits on the (now fired) gate.
+            yield gate
+        else:
+            yield self._gate
+
+
+@dataclasses.dataclass
+class RankStats:
+    """Per-rank outcome of a job."""
+
+    rank: int
+    results: list[IOResult]
+    start_time: float
+    end_time: float
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(r.size for r in self.results if r.op == "read")
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(r.size for r in self.results if r.op == "write")
+
+    @property
+    def io_time(self) -> float:
+        return sum(r.elapsed for r in self.results)
+
+
+class RankContext:
+    """What a rank body sees: its id, the I/O layer and helpers."""
+
+    def __init__(self, rank: int, size: int, layer: IOLayer, barrier: Barrier):
+        self.rank = rank
+        self.size = size
+        self.layer = layer
+        self._barrier = barrier
+        self.sim = barrier.sim
+        self.open_files: list[MPIFile] = []
+        self.results: list[IOResult] = []
+
+    def open(self, path: str, size_hint: int):
+        """MPI_File_open (process generator)."""
+        mpifile = yield from MPIFile.open(self.layer, self.rank, path, size_hint)
+        # Collect results at the context level too, so the job can
+        # aggregate even if the body forgets to return anything.
+        mpifile.results = self.results
+        self.open_files.append(mpifile)
+        return mpifile
+
+    def barrier(self):
+        """MPI_Barrier across all ranks of the job."""
+        yield from self._barrier.wait()
+
+    def close_all(self):
+        for mpifile in self.open_files:
+            if mpifile.is_open:
+                yield from mpifile.close()
+
+
+RankBody = typing.Callable[[RankContext], typing.Generator]
+
+
+class MPIJob:
+    """Run ``size`` ranks of ``body`` over an I/O layer.
+
+    ``body(ctx)`` is a generator using ``ctx.open / file.read / ...``.
+    The job finishes when every rank returns; open files are closed
+    automatically and the layer's ``finalize`` hook runs (the paper's
+    helper threads are "destroyed after the last file is closed").
+    """
+
+    def __init__(self, sim: "Simulator", layer: IOLayer, size: int):
+        if size < 1:
+            raise MPIIOError(f"job needs >= 1 ranks: {size}")
+        self.sim = sim
+        self.layer = layer
+        self.size = size
+        self.barrier = Barrier(sim, size)
+
+    def run(self, body: RankBody) -> list[RankStats]:
+        """Execute the job to completion; returns per-rank stats."""
+
+        def one_rank(rank: int):
+            ctx = RankContext(rank, self.size, self.layer, self.barrier)
+            start = self.sim.now
+            yield from body(ctx)
+            yield from ctx.close_all()
+            return RankStats(rank, ctx.results, start, self.sim.now)
+
+        def job():
+            procs = [
+                self.sim.spawn(one_rank(r), name=f"rank{r}")
+                for r in range(self.size)
+            ]
+            stats = yield self.sim.all_of(procs)
+            yield from self.layer.finalize()
+            return stats
+
+        return self.sim.run_process(job(), name="mpijob")
+
+    @staticmethod
+    def makespan(stats: list[RankStats]) -> float:
+        """Job wall time: first start to last end."""
+        return max(s.end_time for s in stats) - min(s.start_time for s in stats)
+
+    @staticmethod
+    def aggregate_bandwidth(stats: list[RankStats], op: str | None = None) -> float:
+        """Total bytes moved / makespan (the figure the paper reports)."""
+        span = MPIJob.makespan(stats)
+        if span <= 0:
+            return 0.0
+        total = 0
+        for s in stats:
+            for r in s.results:
+                if op is None or r.op == op:
+                    total += r.size
+        return total / span

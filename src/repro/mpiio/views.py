@@ -1,0 +1,196 @@
+"""MPI-IO file views and nonblocking operations.
+
+MPI_File_set_view lets a process see a noncontiguous slice of a file
+as if it were contiguous — the mechanism MPI-Tile-IO uses to express a
+tile of a 2D dataset.  A :class:`FileView` here is the common special
+case ROMIO optimises: a repeating *tiled* filetype made of fixed
+(displacement, length) holes, anchored at a view displacement.
+
+Nonblocking operations (MPI_File_iread/iwrite) return a
+:class:`Request` backed by a simulated process; ``wait``/``waitall``
+join them.  Combined with views this allows overlapping tile I/O with
+computation, and the S4D middleware underneath sees the same
+request stream either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..errors import MPIIOError
+from .api import MPIFile
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Process, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class FileView:
+    """A tiled view: repeating pattern of (offset, length) segments.
+
+    ``displacement`` is the view's absolute start in the file;
+    ``segments`` describe one instance of the filetype (offsets
+    relative to the pattern start, ascending, non-overlapping);
+    ``extent`` is the filetype's full width — instance *k* of the
+    pattern starts at ``displacement + k * extent``.
+    """
+
+    displacement: int
+    segments: tuple[tuple[int, int], ...]
+    extent: int
+
+    def __post_init__(self) -> None:
+        if self.displacement < 0:
+            raise MPIIOError("view displacement must be >= 0")
+        if not self.segments:
+            raise MPIIOError("view needs at least one segment")
+        last_end = 0
+        for offset, length in self.segments:
+            if offset < last_end or length <= 0:
+                raise MPIIOError(
+                    f"view segments must be ascending, non-overlapping "
+                    f"and positive: {self.segments}"
+                )
+            last_end = offset + length
+        if self.extent < last_end:
+            raise MPIIOError(
+                f"view extent {self.extent} smaller than its pattern "
+                f"({last_end} bytes)"
+            )
+
+    @property
+    def bytes_per_instance(self) -> int:
+        return sum(length for _, length in self.segments)
+
+    @classmethod
+    def contiguous(cls, displacement: int = 0) -> "FileView":
+        """The default view: the whole file from ``displacement``."""
+        return cls(displacement, ((0, 1 << 62),), 1 << 62)
+
+    @classmethod
+    def strided(
+        cls, displacement: int, block: int, stride: int
+    ) -> "FileView":
+        """A vector filetype: ``block`` bytes every ``stride`` bytes."""
+        return cls(displacement, ((0, block),), stride)
+
+    # -- view-offset -> file-segment mapping ---------------------------
+    def map_range(self, view_offset: int, size: int) -> list[tuple[int, int]]:
+        """Translate a contiguous view range into file segments."""
+        if view_offset < 0 or size < 0:
+            raise MPIIOError("negative view offset/size")
+        out: list[tuple[int, int]] = []
+        remaining = size
+        position = view_offset
+        per_instance = self.bytes_per_instance
+        while remaining > 0:
+            instance, within = divmod(position, per_instance)
+            base = self.displacement + instance * self.extent
+            consumed = 0
+            for seg_offset, seg_length in self.segments:
+                if within >= consumed + seg_length:
+                    consumed += seg_length
+                    continue
+                inside = within - consumed
+                take = min(seg_length - inside, remaining)
+                start = base + seg_offset + inside
+                if out and out[-1][0] + out[-1][1] == start:
+                    out[-1] = (out[-1][0], out[-1][1] + take)
+                else:
+                    out.append((start, take))
+                remaining -= take
+                position += take
+                within += take
+                consumed += seg_length
+                if remaining == 0:
+                    break
+        return out
+
+
+class ViewedFile:
+    """An :class:`MPIFile` accessed through a :class:`FileView`.
+
+    Reads/writes take *view* offsets; each call issues the underlying
+    noncontiguous file segments in order (one middleware request per
+    segment — exactly what ROMIO's naive independent path does; use
+    collective I/O or data sieving on top for the optimised paths).
+    """
+
+    def __init__(self, mpifile: MPIFile, view: FileView):
+        self.file = mpifile
+        self.view = view
+        self.position = 0  # view-relative pointer
+
+    def set_view(self, view: FileView) -> None:
+        """MPI_File_set_view: replace the view, reset the pointer."""
+        self.view = view
+        self.position = 0
+
+    def read(self, size: int):
+        results = yield from self.read_at(self.position, size)
+        self.position += size
+        return results
+
+    def write(self, size: int):
+        results = yield from self.write_at(self.position, size)
+        self.position += size
+        return results
+
+    def read_at(self, view_offset: int, size: int):
+        results = []
+        for offset, length in self.view.map_range(view_offset, size):
+            res = yield from self.file.read_at(offset, length)
+            results.append(res)
+        return results
+
+    def write_at(self, view_offset: int, size: int):
+        results = []
+        for offset, length in self.view.map_range(view_offset, size):
+            res = yield from self.file.write_at(offset, length)
+            results.append(res)
+        return results
+
+
+class Request:
+    """A nonblocking I/O request (MPI_Request for file ops)."""
+
+    def __init__(self, process: "Process"):
+        self._process = process
+
+    @property
+    def complete(self) -> bool:
+        return self._process.triggered
+
+    def wait(self):
+        """Process generator: MPI_Wait."""
+        result = yield self._process
+        return result
+
+
+def iread_at(mpifile: MPIFile, offset: int, size: int) -> Request:
+    """MPI_File_iread_at: start a read, return immediately."""
+    sim = _sim_of(mpifile)
+    return Request(sim.spawn(mpifile.read_at(offset, size), name="iread"))
+
+
+def iwrite_at(mpifile: MPIFile, offset: int, size: int) -> Request:
+    """MPI_File_iwrite_at: start a write, return immediately."""
+    sim = _sim_of(mpifile)
+    return Request(sim.spawn(mpifile.write_at(offset, size), name="iwrite"))
+
+
+def waitall(requests: typing.Sequence[Request]):
+    """Process generator: MPI_Waitall."""
+    if not requests:
+        return []
+    sim = requests[0]._process.sim
+    results = yield sim.all_of([r._process for r in requests])
+    return results
+
+
+def _sim_of(mpifile: MPIFile):
+    sim = getattr(mpifile.layer, "sim", None)
+    if sim is None:
+        raise MPIIOError("layer does not expose a simulator")
+    return sim

@@ -1,0 +1,12 @@
+"""Cluster interconnect model.
+
+The paper's testbed uses Gigabit Ethernet between 32 compute nodes and
+the file servers.  The model captures what matters for the evaluation:
+per-message latency, per-endpoint bandwidth and contention when many
+clients hit one server (or one client fans out to many servers).
+"""
+
+from .fabric import Fabric, NetworkSpec
+from .link import Link
+
+__all__ = ["Fabric", "Link", "NetworkSpec"]

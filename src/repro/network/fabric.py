@@ -1,0 +1,114 @@
+"""The fabric: named endpoints plus a transfer primitive."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..errors import ConfigError, NetworkError
+from ..sim.resources import PRIORITY_NORMAL
+from ..units import MiB
+from .link import Link
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkSpec:
+    """Fabric parameters.
+
+    Defaults approximate the paper's Gigabit Ethernet: ~117 MB/s of
+    useful payload bandwidth per endpoint and tens of microseconds of
+    one-way latency (switch + stack).
+    """
+
+    #: Payload bandwidth per endpoint, bytes/second.
+    bandwidth: float = 117 * MiB
+    #: One-way message latency, seconds.
+    latency: float = 60e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError("network bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigError("network latency must be non-negative")
+
+
+class Fabric:
+    """A switched network of named endpoints.
+
+    The switch is assumed non-blocking (typical for a cluster GigE
+    switch at this scale); only endpoint NICs contend.  A transfer from
+    A to B holds A's TX and B's RX channels for the wire time at the
+    slower endpoint rate, plus one propagation latency.
+    """
+
+    def __init__(self, sim: "Simulator", spec: NetworkSpec | None = None):
+        self.sim = sim
+        self.spec = spec or NetworkSpec()
+        self._links: dict[str, Link] = {}
+        self.total_transfers = 0
+        self.total_bytes = 0
+
+    def add_endpoint(self, name: str, bandwidth: float | None = None) -> Link:
+        """Register an endpoint NIC; idempotent for the same name."""
+        existing = self._links.get(name)
+        if existing is not None:
+            return existing
+        link = Link(self.sim, name, bandwidth or self.spec.bandwidth)
+        self._links[name] = link
+        return link
+
+    def endpoint(self, name: str) -> Link:
+        link = self._links.get(name)
+        if link is None:
+            raise NetworkError(f"unknown network endpoint {name!r}")
+        return link
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        priority: int = PRIORITY_NORMAL,
+    ):
+        """Process generator moving ``size`` payload bytes src -> dst.
+
+        Yields inside; use as ``yield from fabric.transfer(...)`` or
+        spawn it.  Returns the completion time.
+        """
+        if src == dst:
+            # Local loopback: no NIC involvement, negligible time.
+            return self.sim.now
+        sender = self.endpoint(src)
+        receiver = self.endpoint(dst)
+        tx_grant = yield sender.tx.acquire(priority)
+        try:
+            rx_grant = yield receiver.rx.acquire(priority)
+            try:
+                rate = min(sender.bandwidth, receiver.bandwidth)
+                wire = size / rate
+                yield self.sim.timeout(self.spec.latency + wire)
+            finally:
+                receiver.rx.release(rx_grant)
+        finally:
+            sender.tx.release(tx_grant)
+        sender.bytes_sent += size
+        receiver.bytes_received += size
+        self.total_transfers += 1
+        self.total_bytes += size
+        return self.sim.now
+
+    def request_response(
+        self,
+        client: str,
+        server: str,
+        request_size: int,
+        response_size: int,
+        priority: int = PRIORITY_NORMAL,
+    ):
+        """RPC helper: request payload one way, response the other."""
+        yield from self.transfer(client, server, request_size, priority)
+        yield from self.transfer(server, client, response_size, priority)
+        return self.sim.now

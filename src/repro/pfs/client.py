@@ -1,0 +1,162 @@
+"""PFS client: split a file request, issue sub-requests, gather replies."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..devices.base import OP_READ, OP_WRITE
+from ..errors import PFSError
+from ..network import Fabric
+from ..sim.resources import PRIORITY_NORMAL
+from .content import next_stamp
+from .filesystem import PFS, PFSFile
+from .layout import split_request
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+#: Bytes of protocol header per PFS message (request/ack framing).
+HEADER_BYTES = 256
+
+
+@dataclasses.dataclass
+class IOResult:
+    """Outcome of one parallel file request."""
+
+    op: str
+    path: str
+    offset: int
+    size: int
+    start_time: float
+    end_time: float
+    #: Number of servers the request actually touched.
+    servers_touched: int
+    #: For reads: (seg_start, seg_end, stamp|None) content segments.
+    segments: list[tuple[int, int, int | None]] = dataclasses.field(
+        default_factory=list
+    )
+    #: For writes: the stamp this write put on the file.
+    stamp: int | None = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+
+class PFSClient:
+    """Client-side access to one PFS from one network endpoint.
+
+    Each compute node (MPI rank host) owns a client per file system.
+    A request is split by the striping layout, every sub-request flows
+    request-over-network -> server device -> response-over-network, and
+    all sub-requests proceed in parallel (the source of the parallelism
+    that makes DServers competitive for large requests).
+    """
+
+    def __init__(
+        self, sim: "Simulator", pfs: PFS, fabric: Fabric, endpoint: str
+    ):
+        self.sim = sim
+        self.pfs = pfs
+        self.fabric = fabric
+        self.endpoint = endpoint
+        fabric.add_endpoint(endpoint)
+        for server in pfs.servers:
+            fabric.add_endpoint(server.name)
+        self.requests_issued = 0
+        self.bytes_moved = 0
+
+    # -- public API -----------------------------------------------------
+    def read(
+        self,
+        handle: PFSFile,
+        offset: int,
+        size: int,
+        priority: int = PRIORITY_NORMAL,
+    ):
+        """Process generator; returns an :class:`IOResult` with stamps."""
+        return self._io(OP_READ, handle, offset, size, priority, None)
+
+    def write(
+        self,
+        handle: PFSFile,
+        offset: int,
+        size: int,
+        priority: int = PRIORITY_NORMAL,
+        stamp: int | None = None,
+    ):
+        """Process generator; returns an :class:`IOResult`.
+
+        ``stamp`` identifies the written data for consistency tracking;
+        a fresh one is minted if not supplied (e.g. when copying data,
+        the mover passes the source stamp through).
+        """
+        return self._io(OP_WRITE, handle, offset, size, priority, stamp)
+
+    # -- internals --------------------------------------------------------
+    def _io(
+        self,
+        op: str,
+        handle: PFSFile,
+        offset: int,
+        size: int,
+        priority: int,
+        stamp: int | None,
+    ):
+        if size <= 0:
+            raise PFSError(f"request size must be positive: {size}")
+        start = self.sim.now
+        subs = split_request(offset, size, self.pfs.stripe_size, self.pfs.num_servers)
+        flows = [
+            self.sim.spawn(
+                self._sub_flow(op, handle, sub, priority),
+                name=f"{op}:{handle.name}:{sub.server}",
+            )
+            for sub in subs
+        ]
+        yield self.sim.all_of(flows)
+
+        self.requests_issued += 1
+        self.bytes_moved += size
+        result = IOResult(
+            op=op,
+            path=handle.name,
+            offset=offset,
+            size=size,
+            start_time=start,
+            end_time=self.sim.now,
+            servers_touched=len({sub.server for sub in subs}),
+        )
+        if op == OP_WRITE:
+            write_stamp = stamp if stamp is not None else next_stamp()
+            handle.content.write(offset, size, write_stamp)
+            handle.size = max(handle.size, offset + size)
+            result.stamp = write_stamp
+        else:
+            result.segments = handle.content.read(offset, size)
+        return result
+
+    def _sub_flow(self, op, handle: PFSFile, sub, priority):
+        """One sub-request's full round trip."""
+        server = self.pfs.servers[sub.server]
+        address = handle.local_address(sub.server, sub.local_offset, sub.length)
+        if op == OP_WRITE:
+            # Data travels with the request; small ack returns.
+            yield from self.fabric.transfer(
+                self.endpoint, server.name, HEADER_BYTES + sub.length, priority
+            )
+            yield from server.serve(op, address, sub.length, priority)
+            yield from self.fabric.transfer(
+                server.name, self.endpoint, HEADER_BYTES, priority
+            )
+        else:
+            # Small request out; data travels back.
+            yield from self.fabric.transfer(
+                self.endpoint, server.name, HEADER_BYTES, priority
+            )
+            yield from server.serve(op, address, sub.length, priority)
+            yield from self.fabric.transfer(
+                server.name, self.endpoint, HEADER_BYTES + sub.length, priority
+            )
+        return sub.length

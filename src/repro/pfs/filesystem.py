@@ -1,0 +1,135 @@
+"""PFS namespace and per-server space allocation."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from ..errors import ConfigError, FileExists, FileNotFound, PFSError
+from ..units import KiB, parse_size
+from .content import FileContent
+from .server import FileServer
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class PFSSpec:
+    """Parallel file system parameters.
+
+    PVFS2's default stripe size is 64 KB, which the paper's testbed
+    uses unmodified.
+    """
+
+    stripe_size: int = 64 * KiB
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise ConfigError(f"stripe size must be positive: {self.stripe_size}")
+
+
+class PFSFile:
+    """One striped file: name, reserved space and content stamps."""
+
+    def __init__(
+        self, name: str, size_hint: int, bases: list[int], reserved_local: int
+    ):
+        self.name = name
+        self.size_hint = size_hint
+        #: Base local offset of this file's region on each server.
+        self.bases = bases
+        #: Reserved local bytes per server.
+        self.reserved_local = reserved_local
+        #: Highest written byte + 1.
+        self.size = 0
+        self.content = FileContent()
+
+    def local_address(self, server: int, local_offset: int, length: int) -> int:
+        """Device address of a sub-request; bounds-checked."""
+        if local_offset + length > self.reserved_local:
+            raise PFSError(
+                f"file {self.name!r}: sub-request [{local_offset}, "
+                f"{local_offset + length}) exceeds reserved region "
+                f"({self.reserved_local} bytes/server); create the file "
+                f"with a larger size hint"
+            )
+        return self.bases[server] + local_offset
+
+
+class PFS:
+    """A parallel file system instance over a set of file servers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        servers: list[FileServer],
+        spec: PFSSpec | None = None,
+    ):
+        if not servers:
+            raise ConfigError("a PFS needs at least one file server")
+        self.sim = sim
+        self.name = name
+        self.servers = servers
+        self.spec = spec or PFSSpec()
+        self._files: dict[str, PFSFile] = {}
+        self._next_free = [0] * len(servers)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def stripe_size(self) -> int:
+        return self.spec.stripe_size
+
+    def create(self, path: str, size_hint: int | str) -> PFSFile:
+        """Create a file, reserving striped space for ``size_hint`` bytes."""
+        if path in self._files:
+            raise FileExists(path)
+        hint = parse_size(size_hint)
+        if hint <= 0:
+            raise PFSError(f"size hint must be positive for {path!r}")
+        stripes = math.ceil(hint / self.stripe_size)
+        per_server = math.ceil(stripes / self.num_servers) * self.stripe_size
+        bases = []
+        for i in range(self.num_servers):
+            base = self._next_free[i]
+            capacity = self.servers[i].device.capacity_bytes
+            if base + per_server > capacity:
+                raise PFSError(
+                    f"{self.name}: server {self.servers[i].name} out of space "
+                    f"for {path!r} (need {per_server}, have {capacity - base})"
+                )
+            bases.append(base)
+            self._next_free[i] = base + per_server
+        handle = PFSFile(path, hint, bases, per_server)
+        self._files[path] = handle
+        return handle
+
+    def open(self, path: str) -> PFSFile:
+        handle = self._files.get(path)
+        if handle is None:
+            raise FileNotFound(path)
+        return handle
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def open_or_create(self, path: str, size_hint: int | str) -> PFSFile:
+        if self.exists(path):
+            return self.open(path)
+        return self.create(path, size_hint)
+
+    def delete(self, path: str) -> None:
+        """Remove a file from the namespace (space is not reclaimed —
+        matching the simple region allocator; experiments create a
+        fresh PFS per run)."""
+        if path not in self._files:
+            raise FileNotFound(path)
+        del self._files[path]
+
+    def files(self) -> list[str]:
+        return sorted(self._files)

@@ -1,0 +1,113 @@
+"""The simulator: event queue, clock and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessBody
+from .rng import RandomStreams
+
+
+class Simulator:
+    """Discrete-event simulator with a float-seconds clock.
+
+    All timed components of the reproduction (devices, links, servers,
+    MPI ranks, the Rebuilder) share one Simulator instance.  Determinism:
+    events scheduled for the same time fire in schedule order, and all
+    randomness flows through :class:`~repro.sim.rng.RandomStreams`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = RandomStreams(seed)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        self._crashed: dict[int, BaseException] = {}
+
+    # -- event creation helpers -----------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Wait for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Wait for the first event in ``events``."""
+        return AnyOf(self, events)
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a new process from a generator; returns the Process."""
+        return Process(self, body, name=name)
+
+    # -- engine plumbing --------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _note_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashed[id(process)] = exc
+
+    # -- running -----------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event queue time went backwards")
+        self.now = when
+        event._process()
+        # A crashed process with no joiner is an unhandled simulation
+        # error: surface it instead of silently dropping the failure.
+        crash = self._crashed.pop(id(event), None)
+        if crash is not None and isinstance(event, Process):
+            if not event._had_joiners:
+                raise crash
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def run_process(self, body: ProcessBody, name: str = "") -> typing.Any:
+        """Spawn ``body``, run the simulation, return the process result.
+
+        Convenience for tests and experiment drivers that are structured
+        around one top-level process.
+        """
+        proc = self.spawn(body, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name} never finished (deadlock: queue drained)"
+            )
+        return proc.value
+
+    @property
+    def queued_events(self) -> int:
+        """Number of events currently scheduled (for tests/diagnostics)."""
+        return len(self._heap)

@@ -1,0 +1,201 @@
+"""Event primitives for the simulation engine.
+
+An :class:`Event` is a one-shot occurrence at a point in simulated time.
+Processes wait on events by yielding them; the simulator resumes the
+process with the event's value once it has been *triggered* and then
+*processed* (its callbacks run).
+
+Composite events :class:`AllOf` and :class:`AnyOf` let a process wait on
+several events at once.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Simulator
+
+Callback = typing.Callable[["Event"], None]
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called,
+    scheduled on the event queue) -> *processed* (callbacks executed at
+    the trigger time).
+    """
+
+    __slots__ = (
+        "sim",
+        "_callbacks",
+        "_value",
+        "_exc",
+        "_triggered",
+        "_processed",
+        "_had_joiners",
+    )
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: list[Callback] | None = []
+        self._value: typing.Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+        self._had_joiners = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` was called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully in the past)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> typing.Any:
+        """The success value (or raises the failure exception)."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The failure exception, or None."""
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: typing.Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-seconds."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters will see ``exc`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- callbacks -----------------------------------------------------
+    def add_callback(self, callback: Callback) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately
+        (synchronously), which keeps waiter logic simple.
+        """
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _process(self) -> None:
+        """Run callbacks; called by the simulator at the trigger time."""
+        callbacks, self._callbacks = self._callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        self._had_joiners = bool(callbacks)
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` sim-seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: typing.Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: waits on a set of child events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _collect(self) -> list[typing.Any]:
+        return [e._value for e in self.events if e.processed and e.ok]
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once *all* child events processed; value is the value list.
+
+    Fails immediately (with the child's exception) if any child fails.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            assert event.exception is not None
+            self.fail(event.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the *first* child event is processed.
+
+    Value is a ``(index, value)`` tuple of the winning child.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            assert event.exception is not None
+            self.fail(event.exception)
+            return
+        self.succeed((self.events.index(event), event._value))

@@ -1,0 +1,128 @@
+"""Measurement helpers: counters, time-weighted stats and histograms.
+
+Experiment drivers attach monitors to servers/devices to report the
+utilisation and queueing numbers behind the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+class Counter:
+    """A named monotonic counter with a byte-sum companion."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.count += 1
+        self.total += amount
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Tally:
+    """Streaming mean/variance/min/max of observed samples (Welford)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for queue lengths and device utilisation: ``set(level)`` at each
+    change, ``average(now)`` integrates level over time.
+    """
+
+    def __init__(self, sim: "Simulator", initial: float = 0.0):
+        self.sim = sim
+        self._level = initial
+        self._area = 0.0
+        self._since = sim.now
+        self._start = sim.now
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float) -> None:
+        now = self.sim.now
+        self._area += self._level * (now - self._since)
+        self._since = now
+        self._level = level
+
+    def add(self, delta: float) -> None:
+        self.set(self._level + delta)
+
+    def average(self) -> float:
+        now = self.sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        return (self._area + self._level * (now - self._since)) / elapsed
+
+
+class IntervalLog:
+    """Append-only log of (start, end, tag) busy intervals.
+
+    Devices record service intervals here; analysis code computes
+    utilisation and overlap (parallelism) from the raw intervals.
+    """
+
+    def __init__(self) -> None:
+        self.intervals: list[tuple[float, float, str]] = []
+
+    def record(self, start: float, end: float, tag: str = "") -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        self.intervals.append((start, end, tag))
+
+    def busy_time(self) -> float:
+        """Total busy time with overlapping intervals merged."""
+        if not self.intervals:
+            return 0.0
+        spans = sorted((s, e) for s, e, _ in self.intervals)
+        total = 0.0
+        cur_s, cur_e = spans[0]
+        for s, e in spans[1:]:
+            if s > cur_e:
+                total += cur_e - cur_s
+                cur_s, cur_e = s, e
+            else:
+                cur_e = max(cur_e, e)
+        return total + (cur_e - cur_s)

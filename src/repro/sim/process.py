@@ -1,0 +1,131 @@
+"""Simulated processes: generator coroutines driven by the simulator.
+
+A process body is a generator that yields :class:`~repro.sim.events.Event`
+objects (timeouts, resource requests, other processes...).  The engine
+resumes the generator with the event's value, or throws the event's
+failure exception into it.
+
+A :class:`Process` is itself an event that fires when the generator
+returns, so processes can be joined by yielding them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ProcessKilled, SimulationError
+from .events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+ProcessBody = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class Process(Event):
+    """A running simulated process.
+
+    Yielding a Process from another process waits for it to finish and
+    evaluates to its return value.  ``kill()`` throws
+    :class:`~repro.errors.ProcessKilled` into the generator.
+    """
+
+    __slots__ = ("body", "name", "_waiting_on", "_started")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"Process body must be a generator, got {type(body).__name__}"
+            )
+        super().__init__(sim)
+        self.body = body
+        self.name = name or getattr(body, "__name__", "process")
+        self._waiting_on: Event | None = None
+        self._started = False
+        # Kick off the generator at the current simulation time via an
+        # immediately-processed bootstrap event.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the process at the current time."""
+        if self.triggered:
+            return
+        if not self._started:
+            # The generator never ran; there is no frame to throw into.
+            self.body.close()
+            self.succeed(None)
+            return
+        self._throw_in(ProcessKilled(reason or f"process {self.name} killed"))
+
+    # -- engine plumbing -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        if self.triggered:
+            # The process was killed while waiting on this event; the
+            # event's late firing must not resurrect the generator.
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self.body.send(event._value if self._started else None)
+            else:
+                assert event.exception is not None
+                target = self.body.throw(event.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate as failure
+            self._fail_with(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        self._started = True
+        if not isinstance(target, Event):
+            self._throw_in(
+                SimulationError(
+                    f"process {self.name} yielded {target!r}; expected an Event"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._throw_in(
+                SimulationError(f"process {self.name} yielded a foreign event")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _throw_in(self, exc: BaseException) -> None:
+        """Inject an exception into the generator right now."""
+        self.sim._active_process = self
+        try:
+            self.body.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as err:  # noqa: BLE001
+            self._fail_with(err)
+        else:
+            # The generator swallowed the exception and yielded again;
+            # that is not supported for kill semantics.
+            self._fail_with(
+                SimulationError(f"process {self.name} ignored injected exception")
+            )
+        finally:
+            self.sim._active_process = None
+
+    def _fail_with(self, exc: BaseException) -> None:
+        """Record generator failure; escalate if nobody is joining us."""
+        self.fail(exc)
+        self.sim._note_crash(self, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

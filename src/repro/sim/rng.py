@@ -1,0 +1,41 @@
+"""Deterministic named random streams.
+
+Every stochastic component (HDD rotation sampling, workload offset
+generation, ...) draws from its own named stream so that adding a new
+consumer of randomness never perturbs existing ones.  Streams are
+derived from a single experiment seed, making whole simulations
+reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RandomStreams:
+    """A factory of independent, deterministic ``random.Random`` streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The per-stream seed is a stable hash of (experiment seed, name),
+        so the same name always yields the same sequence for a given
+        experiment seed, independent of creation order.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, salt: str) -> "RandomStreams":
+        """Derive an independent family of streams (e.g. per MPI rank)."""
+        digest = hashlib.sha256(f"{self.seed}/{salt}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

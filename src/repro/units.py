@@ -1,0 +1,92 @@
+"""Size and time unit helpers.
+
+The paper mixes KB/MB/GB (binary) request and file sizes with seconds
+and MB/s throughput.  Everything inside the library is expressed in
+**bytes** and **seconds**; this module is the single place where human
+readable units are converted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+#: One kibibyte in bytes.  The paper's "KB" is binary (4KB requests etc).
+KiB: int = 1024
+#: One mebibyte in bytes.
+MiB: int = 1024 * KiB
+#: One gibibyte in bytes.
+GiB: int = 1024 * MiB
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size ("16KB", "2GiB", 4096) into bytes.
+
+    Integers pass through unchanged.  Suffixes are binary (KB == KiB),
+    matching the paper's usage.
+
+    >>> parse_size("16KB")
+    16384
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"cannot parse size: {text!r}")
+    value, suffix = match.groups()
+    factor = _SUFFIXES.get(suffix.lower())
+    if factor is None:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {text!r}")
+    result = float(value) * factor
+    if result != int(result):
+        raise ConfigError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def fmt_size(nbytes: float) -> str:
+    """Format a byte count for tables ("16.0KiB", "2.0GiB")."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Format a throughput as the paper reports it (MB/s)."""
+    return f"{bytes_per_second / MiB:.2f}MB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with a sensible unit for logs."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"

@@ -1,0 +1,85 @@
+"""Workload interface: per-rank access segment sequences."""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import WorkloadError
+
+Segment = tuple[int, int]  # (offset, size) in the shared file
+
+
+class Workload(abc.ABC):
+    """A parallel I/O access pattern over one shared file.
+
+    Subclasses define :meth:`segments_for_rank`, the ordered request
+    sequence each rank issues.  The sequence must be deterministic in
+    (workload parameters, seed, rank) so a "second run" replays the
+    exact pattern — the property §V.A's read methodology relies on
+    ("many MPI programs are executed several times and present
+    consistent data access patterns").
+    """
+
+    def __init__(self, processes: int, path: str, seed: int = 0):
+        if processes < 1:
+            raise WorkloadError(f"need at least one process: {processes}")
+        if not path:
+            raise WorkloadError("workload needs a file path")
+        self.processes = processes
+        self.path = path
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Workload").lower()
+
+    @abc.abstractmethod
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        """The ordered (offset, size) requests rank ``rank`` issues."""
+
+    # -- derived quantities ------------------------------------------------
+    def data_bytes(self) -> int:
+        """Total bytes accessed across all ranks (cache sizing input)."""
+        return sum(
+            size
+            for rank in range(self.processes)
+            for _, size in self.segments_for_rank(rank)
+        )
+
+    def size_hint(self) -> int:
+        """Reserved size of the shared file."""
+        return max(
+            (offset + size
+             for rank in range(self.processes)
+             for offset, size in self.segments_for_rank(rank)),
+            default=0,
+        )
+
+    def validate(self) -> None:
+        """Sanity-check the pattern (no negative offsets, sizes > 0)."""
+        for rank in range(self.processes):
+            for offset, size in self.segments_for_rank(rank):
+                if offset < 0 or size <= 0:
+                    raise WorkloadError(
+                        f"{self.name}: bad segment ({offset}, {size}) "
+                        f"for rank {rank}"
+                    )
+
+    # -- execution ---------------------------------------------------------
+    def make_body(self, op: str):
+        """Rank body issuing this workload's requests with ``op``.
+
+        Returns a callable suitable for :meth:`repro.mpiio.MPIJob.run`.
+        """
+        if op not in ("read", "write"):
+            raise WorkloadError(f"op must be read/write: {op!r}")
+
+        def body(ctx):
+            handle = yield from ctx.open(self.path, max(self.size_hint(), 1))
+            for offset, size in self.segments_for_rank(ctx.rank):
+                if op == "read":
+                    yield from handle.read_at(offset, size)
+                else:
+                    yield from handle.write_at(offset, size)
+
+        return body

@@ -1,0 +1,92 @@
+"""IOR-style workload (§V.B).
+
+"Each of the n MPI processes reads its own 1/n of the shared file, and
+continuously issues requests with sequential or random offsets."
+Random mode visits every block of the rank's region exactly once in a
+shuffled order (IOR's ``-z`` behaviour), so sequential and random move
+identical byte volumes and differ only in ordering.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import WorkloadError
+from ..units import parse_size
+from .base import Segment, Workload
+
+PATTERNS = ("sequential", "random")
+
+
+class IORWorkload(Workload):
+    """A single IOR instance over one shared file."""
+
+    def __init__(
+        self,
+        processes: int,
+        request_size: int | str,
+        file_size: int | str,
+        pattern: str = "sequential",
+        path: str = "/ior.dat",
+        seed: int = 0,
+        requests_per_rank: int | None = None,
+    ):
+        """``requests_per_rank`` limits how many blocks each rank
+        touches (IOR's segment-count knob).  By default every block of
+        the rank's region is accessed exactly once; a limit keeps the
+        request count tractable while the *span* (and therefore the
+        seek distances of the random pattern) stays at full size.
+        """
+        super().__init__(processes, path, seed)
+        self.request_size = parse_size(request_size)
+        self.file_size = parse_size(file_size)
+        if pattern not in PATTERNS:
+            raise WorkloadError(f"pattern must be one of {PATTERNS}: {pattern!r}")
+        self.pattern = pattern
+        if self.request_size < 1:
+            raise WorkloadError("request size must be positive")
+        region = self.file_size // processes
+        blocks = region // self.request_size
+        if blocks < 1:
+            raise WorkloadError(
+                f"file too small: {self.file_size} bytes over {processes} "
+                f"ranks leaves no {self.request_size}-byte request"
+            )
+        if requests_per_rank is not None:
+            if requests_per_rank < 1:
+                raise WorkloadError("requests_per_rank must be >= 1")
+            if requests_per_rank > blocks:
+                raise WorkloadError(
+                    f"requests_per_rank={requests_per_rank} exceeds the "
+                    f"{blocks} blocks in each rank's region"
+                )
+        self.region_blocks = blocks
+        self.requests_per_rank = (
+            blocks if requests_per_rank is None else requests_per_rank
+        )
+
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        if not (0 <= rank < self.processes):
+            raise WorkloadError(f"rank {rank} out of range")
+        region = self.file_size // self.processes
+        base = rank * region
+        rng = random.Random((self.seed << 20) ^ rank)
+        if self.pattern == "random":
+            if self.requests_per_rank == self.region_blocks:
+                indices = list(range(self.region_blocks))
+                rng.shuffle(indices)
+            else:
+                indices = rng.sample(
+                    range(self.region_blocks), self.requests_per_rank
+                )
+        else:
+            indices = list(range(self.requests_per_rank))
+        return [
+            (base + i * self.request_size, self.request_size) for i in indices
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IOR({self.processes}p, req={self.request_size}, "
+            f"file={self.file_size}, {self.pattern})"
+        )

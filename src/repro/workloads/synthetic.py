@@ -1,0 +1,63 @@
+"""Synthetic mixed workload for ablations and examples.
+
+A fraction of the ranks stream sequentially; the rest issue random
+requests — the "non-uniform workloads" S4D-Cache targets (§III: "cache
+small random accesses in parallel I/O system with non-uniform
+workloads").
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import WorkloadError
+from ..units import parse_size
+from .base import Segment, Workload
+
+
+class SyntheticMixWorkload(Workload):
+    """Some ranks sequential, some random, optionally different sizes."""
+
+    def __init__(
+        self,
+        processes: int,
+        file_size: int | str,
+        random_fraction: float = 0.5,
+        sequential_request: int | str = "1MB",
+        random_request: int | str = "16KB",
+        path: str = "/mix.dat",
+        seed: int = 0,
+    ):
+        super().__init__(processes, path, seed)
+        if not (0.0 <= random_fraction <= 1.0):
+            raise WorkloadError("random_fraction must be in [0, 1]")
+        self.file_size = parse_size(file_size)
+        self.random_fraction = random_fraction
+        self.sequential_request = parse_size(sequential_request)
+        self.random_request = parse_size(random_request)
+        self.random_ranks = {
+            rank
+            for rank in range(processes)
+            if rank < round(random_fraction * processes)
+        }
+
+    def is_random_rank(self, rank: int) -> bool:
+        return rank in self.random_ranks
+
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        if not (0 <= rank < self.processes):
+            raise WorkloadError(f"rank {rank} out of range")
+        region = self.file_size // self.processes
+        base = rank * region
+        if self.is_random_rank(rank):
+            req = self.random_request
+            count = region // req
+            indices = list(range(count))
+            random.Random((self.seed << 20) ^ rank).shuffle(indices)
+        else:
+            req = self.sequential_request
+            count = region // req
+            indices = list(range(count))
+        if count < 1:
+            raise WorkloadError("file too small for one request per rank")
+        return [(base + i * req, req) for i in indices]

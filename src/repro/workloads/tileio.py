@@ -1,0 +1,77 @@
+"""MPI-Tile-IO-style workload (§V.D).
+
+The file is a dense 2D dataset; each process owns one tile of
+``elements_x`` x ``elements_y`` elements and accesses it row by row.
+A tile row is contiguous; consecutive rows are strided by the full
+dataset width — the "nested-strided" pattern the paper highlights
+("each process has a fixed-stride access pattern and yields better
+data locality than that of the IOR [random] test").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import WorkloadError
+from ..units import parse_size
+from .base import Segment, Workload
+
+
+def _process_grid(processes: int) -> tuple[int, int]:
+    """Most-square factorisation nr_tiles_x * nr_tiles_y == processes."""
+    x = int(math.isqrt(processes))
+    while processes % x:
+        x -= 1
+    return x, processes // x
+
+
+class TileIOWorkload(Workload):
+    """One tile per process over a 2D dataset."""
+
+    def __init__(
+        self,
+        processes: int,
+        elements_x: int = 10,
+        elements_y: int = 10,
+        element_size: int | str = "32KB",
+        path: str = "/tileio.dat",
+        seed: int = 0,
+    ):
+        super().__init__(processes, path, seed)
+        if elements_x < 1 or elements_y < 1:
+            raise WorkloadError("tile dimensions must be >= 1")
+        self.elements_x = elements_x
+        self.elements_y = elements_y
+        self.element_size = parse_size(element_size)
+        self.tiles_x, self.tiles_y = _process_grid(processes)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes of one full dataset row."""
+        return self.tiles_x * self.elements_x * self.element_size
+
+    @property
+    def tile_row_bytes(self) -> int:
+        """Bytes of one tile row (the contiguous unit)."""
+        return self.elements_x * self.element_size
+
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        if not (0 <= rank < self.processes):
+            raise WorkloadError(f"rank {rank} out of range")
+        tile_x = rank % self.tiles_x
+        tile_y = rank // self.tiles_x
+        segments: list[Segment] = []
+        for row in range(self.elements_y):
+            dataset_row = tile_y * self.elements_y + row
+            offset = (
+                dataset_row * self.row_bytes
+                + tile_x * self.tile_row_bytes
+            )
+            segments.append((offset, self.tile_row_bytes))
+        return segments
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TileIO({self.processes}p grid {self.tiles_x}x{self.tiles_y}, "
+            f"tile {self.elements_x}x{self.elements_y} x {self.element_size}B)"
+        )

@@ -1,0 +1,78 @@
+"""Zipf-skewed hotspot workload.
+
+IOR's random mode touches every block exactly once, which makes a
+*selective* cache's job mostly about absorbing randomness.  Real
+workloads re-access data with skewed popularity; a Zipf request stream
+exercises the complementary machinery — hit paths, LRU recency, the
+benefit EMA — and is the natural stage for comparing locality-driven
+and benefit-driven caching.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import WorkloadError
+from ..units import parse_size
+from .base import Segment, Workload
+
+
+def zipf_weights(n: int, skew: float) -> list[float]:
+    """Unnormalised Zipf weights 1/rank^skew for ranks 1..n."""
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+class ZipfWorkload(Workload):
+    """Requests drawn from a Zipf popularity distribution over blocks.
+
+    Each rank owns ``1/n`` of the file (like IOR) and issues
+    ``requests_per_rank`` requests whose *block popularity* follows a
+    Zipf(``skew``) law over the rank's blocks, with a per-rank random
+    popularity order (the hot set differs between ranks).
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        request_size: int | str,
+        file_size: int | str,
+        requests_per_rank: int = 256,
+        skew: float = 1.0,
+        path: str = "/zipf.dat",
+        seed: int = 0,
+    ):
+        super().__init__(processes, path, seed)
+        self.request_size = parse_size(request_size)
+        self.file_size = parse_size(file_size)
+        if requests_per_rank < 1:
+            raise WorkloadError("requests_per_rank must be >= 1")
+        if skew < 0:
+            raise WorkloadError("skew must be >= 0")
+        self.requests_per_rank = requests_per_rank
+        self.skew = skew
+        region = self.file_size // processes
+        self.region_blocks = region // self.request_size
+        if self.region_blocks < 1:
+            raise WorkloadError("file too small for one block per rank")
+
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        if not (0 <= rank < self.processes):
+            raise WorkloadError(f"rank {rank} out of range")
+        rng = random.Random((self.seed << 20) ^ rank)
+        region = self.file_size // self.processes
+        base = rank * region
+        # Popularity ranks assigned to shuffled block indices so the
+        # hot blocks are scattered through the region.
+        blocks = list(range(self.region_blocks))
+        rng.shuffle(blocks)
+        weights = zipf_weights(self.region_blocks, self.skew)
+        chosen = rng.choices(blocks, weights=weights,
+                             k=self.requests_per_rank)
+        return [
+            (base + block * self.request_size, self.request_size)
+            for block in chosen
+        ]
+
+    def unique_blocks(self, rank: int) -> int:
+        """Size of the rank's actual working set (distinct blocks)."""
+        return len({offset for offset, _ in self.segments_for_rank(rank)})

@@ -1,0 +1,72 @@
+"""Tests for the runner's phase modes (separated vs interleaved)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, run_workload
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+
+
+def small_spec():
+    return ClusterSpec(num_dservers=4, num_cservers=2, num_nodes=4, seed=17)
+
+
+@pytest.fixture(scope="module")
+def interleaved_result():
+    w = IORWorkload(4, "16KB", "64MB", pattern="random", seed=4,
+                    requests_per_rank=32)
+    return run_workload(small_spec(), w, s4d=True, phases=("interleaved",))
+
+
+def test_interleaved_produces_all_phases(interleaved_result):
+    assert set(interleaved_result.phases) == {"write", "read1", "read2"}
+    for phase in interleaved_result.phases.values():
+        assert phase.bytes_moved > 0
+        assert phase.duration > 0
+
+
+def test_interleaved_counts_match(interleaved_result):
+    expected = 4 * 32 * 16 * KiB
+    assert interleaved_result.phases["write"].bytes_moved == expected
+    assert interleaved_result.phases["read1"].bytes_moved == expected
+    assert interleaved_result.phases["read2"].bytes_moved == expected
+
+
+def test_second_read_at_least_as_fast(interleaved_result):
+    first = interleaved_result.phases["read1"].bandwidth
+    second = interleaved_result.phases["read2"].bandwidth
+    assert second >= first * 0.9
+
+
+def test_requests_per_rank_limits_volume():
+    w = IORWorkload(4, "16KB", "64MB", pattern="random", seed=4,
+                    requests_per_rank=8)
+    assert w.data_bytes() == 4 * 8 * 16 * KiB
+    # Offsets still span the whole region.
+    spans = [
+        max(o for o, _ in w.segments_for_rank(r)) -
+        min(o for o, _ in w.segments_for_rank(r))
+        for r in range(4)
+    ]
+    assert max(spans) > 4 * MiB
+
+
+def test_requests_per_rank_validation():
+    with pytest.raises(Exception):
+        IORWorkload(4, "16KB", "1MB", requests_per_rank=0)
+    with pytest.raises(Exception):
+        IORWorkload(4, "16KB", "1MB", requests_per_rank=10**6)
+
+
+def test_reused_cluster_keeps_state():
+    from repro.cluster import build_cluster
+
+    spec = small_spec()
+    cluster = build_cluster(spec, s4d=True, cache_capacity=MiB)
+    w = IORWorkload(4, "16KB", "64MB", pattern="random", seed=4,
+                    requests_per_rank=16)
+    first = run_workload(spec, w, cluster=cluster, phases=("write",))
+    extents_after_first = len(cluster.middleware.dmt)
+    second = run_workload(spec, w, cluster=cluster, phases=("write",))
+    assert second.cluster is cluster
+    assert len(cluster.middleware.dmt) >= extents_after_first  # state kept

@@ -1,0 +1,125 @@
+"""Tests for the CARL comparator (persistent region placement)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, build_cluster, calibrate_cost_params
+from repro.core import CARLPlacementLayer, CostModel, plan_placement
+from repro.core.carl import RegionPlan
+from repro.errors import ConfigError
+from repro.mpiio import MPIFile, MPIJob
+from repro.units import GiB, KiB, MiB
+from repro.workloads import IORWorkload, SyntheticMixWorkload
+
+
+def small_spec():
+    return ClusterSpec(num_dservers=4, num_cservers=2, num_nodes=4, seed=23)
+
+
+def make_carl(spec, workloads, budget):
+    cluster = build_cluster(spec, s4d=True, cache_capacity=0)
+    model = CostModel(calibrate_cost_params(spec))
+    plan = plan_placement(workloads, model, budget, region_size=MiB)
+    layer = CARLPlacementLayer(
+        cluster.sim, cluster.direct, cluster.cpfs, plan
+    )
+    return cluster, layer, plan
+
+
+# -- planning ---------------------------------------------------------
+
+def test_plan_places_random_regions_first():
+    spec = small_spec()
+    model = CostModel(calibrate_cost_params(spec))
+    mixed = SyntheticMixWorkload(
+        4, 64 * MiB, random_fraction=0.5,
+        sequential_request="1MB", random_request="16KB", seed=3,
+    )
+    plan = plan_placement([mixed], model, budget=8 * MiB, region_size=MiB)
+    assert plan.placed_bytes == 8 * MiB
+    # Random ranks own the first half of the file (rank 0..1 regions).
+    random_span = 2 * (64 * MiB // 4)
+    placed_offsets = [
+        r * MiB for r in plan.regions_for(mixed.path)
+    ]
+    in_random = sum(1 for off in placed_offsets if off < random_span)
+    assert in_random >= 6  # placement concentrates on the random half
+
+
+def test_plan_respects_budget():
+    spec = small_spec()
+    model = CostModel(calibrate_cost_params(spec))
+    w = IORWorkload(4, 16 * KiB, 32 * MiB, pattern="random", seed=5)
+    plan = plan_placement([w], model, budget=3 * MiB, region_size=MiB)
+    assert plan.placed_bytes <= 3 * MiB
+
+
+def test_region_plan_validation():
+    with pytest.raises(ConfigError):
+        RegionPlan(0)
+
+
+# -- the layer ------------------------------------------------------------
+
+def test_placed_requests_go_to_ssd():
+    spec = small_spec()
+    w = IORWorkload(4, 16 * KiB, 8 * MiB, pattern="random", seed=7)
+    cluster, layer, plan = make_carl(spec, [w], budget=8 * MiB)
+    MPIJob(cluster.sim, layer, 4).run(w.make_body("write"))
+    assert layer.requests_to_ssd > 0
+    # Whole file fit in the budget: everything placed.
+    assert layer.requests_to_hdd == 0
+    assert sum(s.bytes_served for s in cluster.cservers) > 0
+
+
+def test_unplaced_requests_stay_on_hdd():
+    spec = small_spec()
+    w = IORWorkload(4, 16 * KiB, 8 * MiB, pattern="random", seed=7)
+    cluster, layer, _ = make_carl(spec, [w], budget=2 * MiB)
+    MPIJob(cluster.sim, layer, 4).run(w.make_body("write"))
+    assert layer.requests_to_ssd > 0
+    assert layer.requests_to_hdd > 0
+
+
+def test_read_after_write_consistent_across_placement_boundary():
+    spec = small_spec()
+    w = IORWorkload(4, 16 * KiB, 8 * MiB, pattern="random", seed=7)
+    cluster, layer, _ = make_carl(spec, [w], budget=2 * MiB)
+    sim = cluster.sim
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/x", 8 * MiB)
+        # Write a range spanning placed region 0 and unplaced space.
+        res_w = yield from f.write_at(512 * KiB, 2 * MiB)
+        res_r = yield from f.read_at(512 * KiB, 2 * MiB)
+        yield from f.close()
+        return res_w, res_r
+
+    # Place region 0 of /x only.
+    layer.plan.place("/x", 0)
+    from repro.intervals import IntervalMap
+
+    index = IntervalMap()
+    index.set(0, MiB, True)
+    layer._placement["/x"] = index
+
+    res_w, res_r = sim.run_process(body())
+    assert res_r.segments == [
+        (512 * KiB, 512 * KiB + 2 * MiB, res_w.stamp)
+    ]
+
+
+def test_carl_has_no_adaptivity():
+    """The defining difference vs S4D: a shifted pattern stays misplaced."""
+    spec = small_spec()
+    first = IORWorkload(4, 16 * KiB, 32 * MiB, pattern="random", seed=7,
+                        requests_per_rank=32, path="/data")
+    # Same file, *different* region of interest after the shift.
+    shifted = IORWorkload(4, 16 * KiB, 32 * MiB, pattern="random", seed=99,
+                          requests_per_rank=32, path="/data")
+    cluster, layer, _ = make_carl(spec, [first], budget=4 * MiB)
+    MPIJob(cluster.sim, layer, 4).run(first.make_body("write"))
+    ssd_before = layer.requests_to_ssd
+    MPIJob(cluster.sim, layer, 4).run(shifted.make_body("write"))
+    ssd_delta = layer.requests_to_ssd - ssd_before
+    # The shifted pattern mostly misses the stale placement.
+    assert ssd_delta < ssd_before

@@ -1,0 +1,167 @@
+"""Tests for the cost model (Eq. 1-8)."""
+
+import random
+
+import pytest
+
+from repro.core import CostModel, CostParams
+from repro.devices import HDD, SSD, DeviceProfiler, HDDSpec, SSDSpec
+from repro.errors import ConfigError
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    profiler = DeviceProfiler(rng=random.Random(42))
+    return (
+        profiler.profile(HDD(HDDSpec())),
+        profiler.profile(SSD(SSDSpec())),
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_params(profiles):
+    """Paper-regime parameters: beta_C profiled at cache granularity.
+
+    beta values here are hand-set to the values the stack profiler
+    measures (see cluster.calibrate tests for the measured version):
+    HDD streaming ~47MB/s end-to-end, SSD small-request effective
+    ~38MB/s write / ~45MB/s read.
+    """
+    hdd, ssd = profiles
+    return CostParams(
+        num_dservers=8,
+        num_cservers=4,
+        d_stripe=64 * KiB,
+        c_stripe=64 * KiB,
+        avg_rotation=hdd.avg_rotation,
+        max_seek=hdd.max_seek,
+        beta_d_read=1 / (47 * MiB),
+        beta_d_write=1 / (47 * MiB),
+        beta_c_read=1 / (45 * MiB),
+        beta_c_write=1 / (38 * MiB),
+        hdd_profile=hdd,
+    )
+
+
+FAR = 1 << 40  # "random" distance
+
+
+def test_startup_time_increases_with_servers(paper_params):
+    model = CostModel(paper_params)
+    # At a moderate seek distance a < b, so waiting for more servers'
+    # worst-case startup costs more (Eq. 4).  (At saturating distances
+    # a == b and m stops mattering — covered below.)
+    t1 = model.startup_time(GiB, 1)
+    t4 = model.startup_time(GiB, 4)
+    t8 = model.startup_time(GiB, 8)
+    assert t1 < t4 < t8
+    far = [model.startup_time(FAR, m) for m in (1, 4, 8)]
+    assert far[0] == far[1] == far[2]
+
+
+def test_startup_time_bounded_by_a_and_b(paper_params):
+    model = CostModel(paper_params)
+    a = paper_params.hdd_profile.seek_time(GiB) + paper_params.avg_rotation
+    b = paper_params.max_seek + paper_params.avg_rotation
+    t = model.startup_time(GiB, 4)
+    assert a <= t <= b
+    # Eq. 4 exactly: a + m/(m+1)(b-a).
+    assert t == pytest.approx(a + (4 / 5) * (b - a))
+
+
+def test_random_requests_cost_more_on_dservers(paper_params):
+    model = CostModel(paper_params)
+    seq = model.cost_dservers("read", 0, 16 * KiB, 0)
+    rand = model.cost_dservers("read", 0, 16 * KiB, 10 * GiB)
+    assert rand > seq
+
+
+def test_cserver_cost_ignores_randomness(paper_params):
+    model = CostModel(paper_params)
+    # T_C depends on size only (Eq. 7).
+    assert model.cost_cservers("read", 16 * KiB) == model.cost_cservers(
+        "read", 16 * KiB
+    )
+    assert model.cost_cservers("read", MiB) > model.cost_cservers("read", KiB)
+
+
+def test_small_random_requests_have_positive_benefit(paper_params):
+    model = CostModel(paper_params)
+    for size in (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB):
+        assert model.benefit("write", 0, size, FAR) > 0
+        assert model.benefit("read", 0, size, FAR) > 0
+
+
+def test_large_requests_have_negative_benefit(paper_params):
+    """The Table III regime: 4MB requests belong on DServers."""
+    model = CostModel(paper_params)
+    assert model.benefit("write", 0, 16 * MiB, FAR) < 0
+    assert model.benefit("write", 0, 16 * MiB, 0) < 0
+
+
+def test_benefit_decreases_with_size(paper_params):
+    model = CostModel(paper_params)
+    sizes = [16 * KiB, 256 * KiB, MiB, 4 * MiB, 16 * MiB]
+    benefits = [model.benefit("write", 0, s, FAR) for s in sizes]
+    assert all(b1 >= b2 for b1, b2 in zip(benefits, benefits[1:]))
+
+
+def test_crossover_in_paper_regime(paper_params):
+    """Write crossover should land in the single-digit-MB range."""
+    model = CostModel(paper_params)
+    crossover = model.crossover_size("write", FAR)
+    assert crossover is not None
+    assert 2 * MiB < crossover < 16 * MiB
+
+
+def test_crossover_none_when_ssd_always_wins(profiles):
+    hdd, ssd = profiles
+    params = CostParams.from_profiles(hdd, ssd, 8, 4, 64 * KiB, 64 * KiB)
+    model = CostModel(params)
+    # Raw datasheet betas: SSD wins at every size (see DESIGN.md on
+    # why beta_C must be profiled at cache granularity instead).
+    assert model.crossover_size("write", FAR) is None
+
+
+def test_cost_dservers_uses_max_subrequest(paper_params):
+    model = CostModel(paper_params)
+    # Request of 8 stripes over 8 servers: s_m = 1 stripe + phantom.
+    aligned = model.cost_dservers("read", 0, 8 * 64 * KiB, 0)
+    # Twice the data: s_m doubles, startup identical.
+    double = model.cost_dservers("read", 0, 16 * 64 * KiB, 0)
+    assert double > aligned
+    delta = double - aligned
+    assert delta == pytest.approx(
+        64 * KiB * paper_params.beta_d_read, rel=0.01
+    )
+
+
+def test_params_validation(profiles):
+    hdd, _ = profiles
+    with pytest.raises(ConfigError):
+        CostParams(
+            num_dservers=0, num_cservers=4, d_stripe=1, c_stripe=1,
+            avg_rotation=0.004, max_seek=0.015,
+            beta_d_read=1e-8, beta_d_write=1e-8,
+            beta_c_read=1e-8, beta_c_write=1e-8,
+            hdd_profile=hdd,
+        )
+    with pytest.raises(ConfigError):
+        CostParams(
+            num_dservers=8, num_cservers=4, d_stripe=1, c_stripe=1,
+            avg_rotation=0.004, max_seek=0.015,
+            beta_d_read=0.0, beta_d_write=1e-8,
+            beta_c_read=1e-8, beta_c_write=1e-8,
+            hdd_profile=hdd,
+        )
+    with pytest.raises(ConfigError):
+        CostParams.from_profiles(hdd, hdd, 8, 4, 1, 1, network_beta=-1)
+
+
+def test_first_access_counts_as_far(paper_params):
+    """Distance saturates the seek curve; huge values are equivalent."""
+    model = CostModel(paper_params)
+    assert model.benefit("read", 0, 16 * KiB, 1 << 40) == pytest.approx(
+        model.benefit("read", 0, 16 * KiB, 1 << 50)
+    )

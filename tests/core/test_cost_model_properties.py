@@ -1,0 +1,84 @@
+"""Property-based tests of the cost model's structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, CostParams
+from repro.devices import HDD, SSD, DeviceProfiler, HDDSpec, SSDSpec
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def model():
+    profiler = DeviceProfiler(rng=random.Random(42))
+    hdd = profiler.profile(HDD(HDDSpec()))
+    ssd = profiler.profile(SSD(SSDSpec()))
+    params = CostParams(
+        num_dservers=8, num_cservers=4,
+        d_stripe=64 * KiB, c_stripe=64 * KiB,
+        avg_rotation=hdd.avg_rotation, max_seek=hdd.max_seek,
+        beta_d_read=1 / (47 * MiB), beta_d_write=1 / (47 * MiB),
+        beta_c_read=1 / (45 * MiB), beta_c_write=1 / (38 * MiB),
+        hdd_profile=hdd,
+    )
+    return CostModel(params)
+
+
+sizes = st.integers(min_value=1, max_value=64 * MiB)
+offsets = st.integers(min_value=0, max_value=1 << 34)
+distances = st.integers(min_value=0, max_value=1 << 40)
+ops = st.sampled_from(["read", "write"])
+
+
+@given(op=ops, offset=offsets, size=sizes, distance=distances)
+@settings(max_examples=300, deadline=None)
+def test_costs_are_positive_and_finite(model, op, offset, size, distance):
+    t_d = model.cost_dservers(op, offset, size, distance)
+    t_c = model.cost_cservers(op, size)
+    assert t_d > 0
+    assert t_c > 0
+    assert t_d < 100 and t_c < 100  # sane magnitudes (seconds)
+    assert model.benefit(op, offset, size, distance) == pytest.approx(
+        t_d - t_c
+    )
+
+
+@given(op=ops, offset=offsets, size=sizes,
+       d1=distances, d2=distances)
+@settings(max_examples=300, deadline=None)
+def test_cost_monotone_in_distance(model, op, offset, size, d1, d2):
+    lo, hi = sorted((d1, d2))
+    assert model.cost_dservers(op, offset, size, lo) <= (
+        model.cost_dservers(op, offset, size, hi) + 1e-12
+    )
+
+
+@given(op=ops, size1=sizes, size2=sizes, distance=distances)
+@settings(max_examples=300, deadline=None)
+def test_cserver_cost_monotone_in_size(model, op, size1, size2, distance):
+    lo, hi = sorted((size1, size2))
+    assert model.cost_cservers(op, lo) <= model.cost_cservers(op, hi) + 1e-12
+
+
+@given(op=ops, offset=offsets, size=sizes, distance=distances)
+@settings(max_examples=200, deadline=None)
+def test_startup_bounded_by_b(model, op, offset, size, distance):
+    m = model.involved_servers(offset, size)
+    t_s = model.startup_time(distance, m)
+    b = model.params.max_seek + model.params.avg_rotation
+    assert 0 <= t_s <= b + 1e-12
+
+
+@given(offset=offsets, size=st.integers(1, 4 * MiB), distance=distances)
+@settings(max_examples=200, deadline=None)
+def test_refinements_never_increase_cost(model, offset, size, distance):
+    """Exact-m and seek-gated rotation only remove phantom cost."""
+    verbatim = CostModel(
+        model.params, exact_servers=False, seek_gated_rotation=False
+    )
+    refined_cost = model.cost_dservers("write", offset, size, distance)
+    verbatim_cost = verbatim.cost_dservers("write", offset, size, distance)
+    assert refined_cost <= verbatim_cost + 1e-12

@@ -1,0 +1,86 @@
+"""Robustness: correctness must not depend on device performance.
+
+The selective policy's *decisions* change with hardware (that is the
+point), but data consistency and accounting must hold on any hardware —
+including pathologically slow SSDs where caching is a net loss, and
+ultra-fast HDDs where nothing is ever critical.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, build_cluster
+from repro.devices import HDDSpec, SSDSpec
+from repro.mpiio import MPIFile, MPIJob
+from repro.units import GiB, KiB, MiB
+
+
+def run_mixed_job(cluster):
+    mw = cluster.middleware
+
+    def body(ctx):
+        f = yield from ctx.open("/data", 4 * GiB)
+        base = ctx.rank * GiB
+        stamps = {}
+        rng = ctx.sim.rng.fork(f"r{ctx.rank}").stream("offsets")
+        offsets = [
+            base + rng.randrange(0, 1024) * 16 * KiB for _ in range(12)
+        ]
+        for off in offsets:
+            res = yield from f.write_at(off, 16 * KiB)
+            stamps[off] = res.stamp
+        yield from mw.rebuilder.drain()
+        for off in offsets:
+            res = yield from f.read_at(off, 16 * KiB)
+            assert res.segments[0][2] == stamps[off], off
+
+    MPIJob(cluster.sim, mw, 2).run(body)
+    assert mw.space.used == mw.dmt.mapped_bytes
+
+
+def test_pathologically_slow_ssd_stays_correct():
+    """A terrible SSD: the policy may reject everything; data holds."""
+    spec = ClusterSpec(
+        num_dservers=2, num_cservers=2, num_nodes=2, seed=41,
+        ssd=SSDSpec(
+            read_latency=20e-3, write_latency=40e-3,
+            read_rate=2 * MiB, write_rate=MiB,
+        ),
+    )
+    cluster = build_cluster(spec, s4d=True, cache_capacity=4 * MiB)
+    run_mixed_job(cluster)
+    # With an SSD slower than the HDD path, nothing is critical.
+    model = cluster.middleware.identifier.cost_model
+    assert model.benefit("write", 0, 16 * KiB, 1 << 40) < 0
+    assert cluster.middleware.metrics.bytes_to_cservers == 0
+
+
+def test_instant_hdd_makes_cache_pointless_but_correct():
+    """An HDD with no mechanics: SSD offers no benefit; data holds."""
+    spec = ClusterSpec(
+        num_dservers=2, num_cservers=2, num_nodes=2, seed=43,
+        hdd=HDDSpec(
+            rotation_period=1e-6, transfer_rate=2 * GiB,
+            rotation_mode="expected",
+        ),
+    )
+    cluster = build_cluster(spec, s4d=True, cache_capacity=4 * MiB)
+    run_mixed_job(cluster)
+
+
+def test_single_cserver_cluster():
+    spec = ClusterSpec(
+        num_dservers=4, num_cservers=1, num_nodes=2, seed=45
+    )
+    cluster = build_cluster(spec, s4d=True, cache_capacity=4 * MiB)
+    run_mixed_job(cluster)
+    assert len(cluster.cservers) == 1
+
+
+def test_single_dserver_cluster():
+    """M == 1: the documented Table II overestimate must not break
+    anything operational."""
+    spec = ClusterSpec(
+        num_dservers=1, num_cservers=1, num_nodes=2, seed=47
+    )
+    cluster = build_cluster(spec, s4d=True, cache_capacity=4 * MiB)
+    run_mixed_job(cluster)

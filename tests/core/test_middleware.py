@@ -1,0 +1,271 @@
+"""Integration tests: the S4D middleware on a small simulated cluster.
+
+These exercise the full §IV.B call paths — open/read/write/close via
+MPIFile handles — and verify routing, consistency and the Fig. 11
+pass-through behaviour.
+"""
+
+import pytest
+
+from repro.errors import ProcessKilled
+from repro.mpiio import MPIFile, MPIJob
+from repro.units import GiB, KiB, MiB
+
+
+def run(cluster, body):
+    return cluster.sim.run_process(body())
+
+
+def test_open_creates_cache_file(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", MiB)
+        yield from f.close()
+
+    run(s4d_cluster, body)
+    assert s4d_cluster.cpfs.exists("/data.s4dcache")
+    assert s4d_cluster.opfs.exists("/data")
+
+
+def test_rebuilder_lifecycle_follows_open_close(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        assert not mw.rebuilder.running
+        f1 = yield from MPIFile.open(mw, 0, "/a", MiB)
+        assert mw.rebuilder.running
+        f2 = yield from MPIFile.open(mw, 1, "/b", MiB)
+        yield from f1.close()
+        assert mw.rebuilder.running  # one file still open
+        yield from f2.close()
+        assert not mw.rebuilder.running  # last close stops the helper
+
+    run(s4d_cluster, body)
+
+
+def test_small_random_write_redirected_to_cservers(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        # Random-looking offsets: far apart.
+        for offset in (0, 32 * MiB, 5 * MiB, 48 * MiB):
+            yield from f.write_at(offset, 16 * KiB)
+        yield from f.close()
+
+    run(s4d_cluster, body)
+    m = mw.metrics
+    assert m.write_admitted >= 3  # first may be far too, all critical
+    assert m.bytes_to_cservers > 0
+    assert sum(s.bytes_served for s in s4d_cluster.cservers) > 0
+
+
+def test_large_write_stays_on_dservers(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        yield from f.write_at(0, 16 * MiB)
+        yield from f.close()
+
+    run(s4d_cluster, body)
+    m = mw.metrics
+    assert m.requests_to_dservers == 1
+    assert m.bytes_to_cservers == 0
+    assert len(mw.dmt) == 0
+
+
+def test_read_after_redirected_write_is_consistent(s4d_cluster):
+    """The core consistency property: stamps flow through the cache."""
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        wres = yield from f.write_at(32 * MiB, 16 * KiB)
+        rres = yield from f.read_at(32 * MiB, 16 * KiB)
+        yield from f.close()
+        return wres, rres
+
+    wres, rres = run(s4d_cluster, body)
+    assert rres.segments == [(32 * MiB, 32 * MiB + 16 * KiB, wres.stamp)]
+    # And it really was a cache hit.
+    assert mw.metrics.read_hits == 1
+
+
+def test_read_miss_marks_cflag_and_rebuilder_fetches(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        # Write non-critically (large), then read a small piece: miss.
+        yield from f.write_at(0, 8 * MiB)
+        mw.identifier.reset_streams()
+        first = yield from f.read_at(17 * 16 * KiB, 16 * KiB)
+        assert mw.metrics.read_hits == 0
+        # Let the rebuilder fetch it.
+        yield from mw.rebuilder.drain()
+        second = yield from f.read_at(17 * 16 * KiB, 16 * KiB)
+        yield from f.close()
+        return first, second
+
+    first, second = run(s4d_cluster, body)
+    assert mw.metrics.fetches >= 1
+    assert mw.metrics.read_hits == 1
+    # Fetched data carries the original write's stamps.
+    assert first.segments == second.segments
+
+
+def test_flush_writes_dirty_data_back(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        wres = yield from f.write_at(32 * MiB, 16 * KiB)
+        yield from mw.rebuilder.drain()
+        yield from f.close()
+        return wres
+
+    wres = run(s4d_cluster, body)
+    assert mw.metrics.flushes == 1
+    extents = mw.dmt.all_extents()
+    assert len(extents) == 1 and not extents[0].dirty
+    # DServer copy now holds the written stamp.
+    d_handle = s4d_cluster.opfs.open("/data")
+    assert d_handle.content.read(32 * MiB, 16 * KiB) == [
+        (32 * MiB, 32 * MiB + 16 * KiB, wres.stamp)
+    ]
+
+
+def test_write_hit_redirties_flushed_extent(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        yield from f.write_at(32 * MiB, 16 * KiB)
+        yield from mw.rebuilder.drain()
+        wres2 = yield from f.write_at(32 * MiB, 16 * KiB)
+        rres = yield from f.read_at(32 * MiB, 16 * KiB)
+        yield from f.close()
+        return wres2, rres
+
+    wres2, rres = run(s4d_cluster, body)
+    assert mw.metrics.write_hits == 1
+    assert rres.segments[0][2] == wres2.stamp
+
+
+def test_eviction_preserves_consistency(tiny_cache_cluster):
+    """Cache fits 4x16KB; writes beyond evict flushed extents, and
+    reads of evicted ranges fall back to DServers with correct data."""
+    cluster = tiny_cache_cluster
+    mw = cluster.middleware
+    offsets = [i * 4 * MiB for i in range(12)]
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        stamps = {}
+        for off in offsets:
+            res = yield from f.write_at(off, 16 * KiB)
+            stamps[off] = res.stamp
+            yield from mw.rebuilder.drain()  # flush promptly
+        results = {}
+        for off in offsets:
+            res = yield from f.read_at(off, 16 * KiB)
+            results[off] = res.segments
+        yield from f.close()
+        return stamps, results
+
+    stamps, results = run(cluster, body)
+    assert cluster.middleware.space.evictions > 0
+    for off in offsets:
+        assert results[off] == [(off, off + 16 * KiB, stamps[off])], off
+
+
+def test_partial_hit_read_merges_segments(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        w1 = yield from f.write_at(32 * MiB, 16 * KiB)          # cached
+        w2 = yield from f.write_at(32 * MiB + 16 * KiB, 8 * MiB)  # large
+        rres = yield from f.read_at(32 * MiB, 32 * KiB)
+        yield from f.close()
+        return w1, w2, rres
+
+    w1, w2, rres = run(s4d_cluster, body)
+    assert rres.segments == [
+        (32 * MiB, 32 * MiB + 16 * KiB, w1.stamp),
+        (32 * MiB + 16 * KiB, 32 * MiB + 32 * KiB, w2.stamp),
+    ]
+
+
+def test_zero_capacity_passes_everything_through(s4d_cluster):
+    from repro.cluster import build_cluster
+    from tests.core.conftest import small_spec
+
+    cluster = build_cluster(small_spec(), s4d=True, cache_capacity=0)
+    mw = cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        for off in (0, 32 * MiB, 5 * MiB):
+            yield from f.write_at(off, 16 * KiB)
+            yield from f.read_at(off, 16 * KiB)
+        yield from f.close()
+
+    cluster.sim.run_process(body())
+    assert mw.metrics.bytes_to_cservers == 0
+    assert mw.metrics.write_bounced == 3
+
+
+def test_never_policy_acts_like_stock(s4d_cluster):
+    from repro.cluster import build_cluster
+    from tests.core.conftest import small_spec
+
+    cluster = build_cluster(
+        small_spec(), s4d=True, cache_capacity=4 * MiB, policy="never"
+    )
+    mw = cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        yield from f.write_at(32 * MiB, 16 * KiB)
+        yield from f.read_at(32 * MiB, 16 * KiB)
+        yield from f.close()
+
+    cluster.sim.run_process(body())
+    assert mw.metrics.bytes_to_cservers == 0
+    assert len(mw.identifier.cdt) == 0
+    assert len(mw.dmt) == 0
+
+
+def test_metadata_bytes_estimate(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        for i in range(5):
+            yield from f.write_at(i * 8 * MiB, 16 * KiB)
+        yield from f.close()
+
+    run(s4d_cluster, body)
+    # 6 fields * 4 bytes per entry, as §V.E.1 estimates.
+    assert mw.metadata_bytes() == len(mw.dmt) * 24
+    assert len(mw.dmt) >= 4
+
+
+def test_middleware_via_mpijob(s4d_cluster):
+    """Whole stack through MPIJob with several ranks."""
+    mw = s4d_cluster.middleware
+
+    def body(ctx):
+        f = yield from ctx.open("/shared", 64 * MiB)
+        offset = ctx.rank * 16 * MiB
+        yield from f.write_at(offset, 16 * KiB)
+        yield from ctx.barrier()
+        yield from f.read_at(offset, 16 * KiB)
+
+    stats = MPIJob(s4d_cluster.sim, mw, size=4).run(body)
+    assert all(s.bytes_written == 16 * KiB for s in stats)
+    assert mw.metrics.read_hits == 4  # all ranks hit their own writes
+    assert not mw.rebuilder.running  # finalize stopped the helper

@@ -1,0 +1,113 @@
+"""Edge-case tests for middleware lifecycle and accounting."""
+
+import pytest
+
+from repro.errors import CacheError, MPIIOError
+from repro.mpiio import MPIFile
+from repro.units import KiB, MiB
+
+
+def test_reopen_after_close(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f1 = yield from MPIFile.open(mw, 0, "/data", MiB)
+        w = yield from f1.write_at(0, 16 * KiB)
+        yield from f1.close()
+        f2 = yield from MPIFile.open(mw, 0, "/data", MiB)
+        r = yield from f2.read_at(0, 16 * KiB)
+        yield from f2.close()
+        return w, r
+
+    w, r = s4d_cluster.sim.run_process(body())
+    # Cache state survives close/reopen within a run.
+    assert r.segments[0][2] == w.stamp
+    assert mw.metrics.read_hits == 1
+
+
+def test_multiple_files_share_cache_capacity(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f_a = yield from MPIFile.open(mw, 0, "/a", 64 * MiB)
+        f_b = yield from MPIFile.open(mw, 0, "/b", 64 * MiB)
+        yield from f_a.write_at(32 * MiB, 16 * KiB)
+        yield from f_b.write_at(48 * MiB, 16 * KiB)
+        yield from f_a.close()
+        yield from f_b.close()
+
+    s4d_cluster.sim.run_process(body())
+    assert s4d_cluster.cpfs.exists("/a.s4dcache")
+    assert s4d_cluster.cpfs.exists("/b.s4dcache")
+    assert mw.space.used == 2 * 16 * KiB
+    files = {e.d_file for e in mw.dmt.all_extents()}
+    assert files == {"/a", "/b"}
+
+
+def test_seek_and_pointer_io_through_middleware(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        f.seek(32 * MiB)
+        w = yield from f.write(16 * KiB)
+        assert f.position == 32 * MiB + 16 * KiB
+        f.seek(-16 * KiB, "cur")
+        r = yield from f.read(16 * KiB)
+        yield from f.close()
+        return w, r
+
+    w, r = s4d_cluster.sim.run_process(body())
+    assert r.segments[0][2] == w.stamp
+
+
+def test_close_unopened_rejected(s4d_cluster):
+    mw = s4d_cluster.middleware
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", MiB)
+        yield from f.close()
+        with pytest.raises(MPIIOError):
+            yield from mw.close(0, f.handle)
+
+    s4d_cluster.sim.run_process(body())
+
+
+def test_metadata_sync_cost_charged(s4d_cluster):
+    mw = s4d_cluster.middleware
+    sim = s4d_cluster.sim
+
+    def body():
+        f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)
+        # Critical write: allocates -> one DMT mutation minimum.
+        res = yield from f.write_at(32 * MiB, 16 * KiB)
+        yield from f.close()
+        return res
+
+    res = sim.run_process(body())
+    assert res.elapsed >= mw.lookup_overhead + mw.metadata_sync_cost
+
+
+def test_negative_capacity_rejected(s4d_cluster):
+    from repro.core import S4DCacheMiddleware
+
+    with pytest.raises(CacheError):
+        S4DCacheMiddleware(
+            s4d_cluster.sim,
+            s4d_cluster.direct,
+            s4d_cluster.cpfs,
+            mw_cost_model(s4d_cluster),
+            capacity=-1,
+        )
+
+
+def mw_cost_model(cluster):
+    return cluster.middleware.identifier.cost_model
+
+
+def test_capacity_string_parse():
+    from repro.cluster import build_cluster
+    from tests.core.conftest import small_spec
+
+    cluster = build_cluster(small_spec(), s4d=True, cache_capacity="2MB")
+    assert cluster.middleware.space.capacity == 2 * MiB

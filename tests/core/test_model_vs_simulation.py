@@ -1,0 +1,131 @@
+"""Model fidelity: Eq. 1-8 predictions vs measured request times.
+
+The Data Identifier decides from the *analytical* model; the simulated
+cluster is the ground truth.  These tests quantify how well the two
+agree — not to equality (the model ignores queueing and network
+framing), but in the ways decisions depend on: ordering across request
+classes and rough magnitude.  Reads are used as the probe op: isolated
+writes absorb into the servers' write-behind and measure memory, not
+the device path the model predicts.
+"""
+
+import statistics
+
+import pytest
+
+from repro.cluster import ClusterSpec, build_cluster, calibrate_cost_params
+from repro.core import CostModel
+from repro.units import GiB, KiB, MiB
+
+FAR = 1 << 40
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = ClusterSpec.paper_testbed(num_nodes=4)
+    model = CostModel(calibrate_cost_params(spec))
+    return spec, model
+
+
+def measure_dserver(spec, size, pattern, count=24):
+    """Mean isolated request time on the stock system."""
+    cluster = build_cluster(spec, s4d=False)
+    sim = cluster.sim
+    client = cluster.direct.client_for(0)
+    handle = cluster.opfs.create("/probe", 4 * GiB)
+    rng = sim.rng.stream("probe")
+
+    def body():
+        times = []
+        offset = 0
+        for i in range(count):
+            if pattern == "random":
+                offset = rng.randrange(0, (2 * GiB) // size) * size
+            else:
+                offset = i * size
+            result = yield from client.read(handle, offset, size)
+            times.append(result.elapsed)
+        return times
+
+    times = sim.run_process(body())
+    return statistics.mean(times[2:])  # skip warmup
+
+
+def measure_cserver(spec, size, count=24):
+    cluster = build_cluster(spec, s4d=True, cache_capacity=GiB)
+    sim = cluster.sim
+    client = cluster.middleware.cpfs_client_for(0)
+    handle = cluster.cpfs.create("/probe.cache", 4 * GiB)
+    rng = sim.rng.stream("probe")
+
+    def body():
+        times = []
+        for _ in range(count):
+            offset = rng.randrange(0, (2 * GiB) // size) * size
+            result = yield from client.read(handle, offset, size)
+            times.append(result.elapsed)
+        return times
+
+    times = sim.run_process(body())
+    return statistics.mean(times[2:])
+
+
+def test_model_orders_request_classes_like_the_simulator(setup):
+    spec, model = setup
+    classes = {
+        "small-random-hdd": (
+            measure_dserver(spec, 16 * KiB, "random"),
+            model.cost_dservers("read", 0, 16 * KiB, FAR),
+        ),
+        "small-ssd": (
+            measure_cserver(spec, 16 * KiB),
+            model.cost_cservers("read", 16 * KiB),
+        ),
+        "large-hdd": (
+            measure_dserver(spec, 4 * MiB, "sequential"),
+            model.cost_dservers("read", 0, 4 * MiB, 4 * MiB),
+        ),
+        "large-ssd": (
+            measure_cserver(spec, 4 * MiB),
+            model.cost_cservers("read", 4 * MiB),
+        ),
+    }
+    # The decision-relevant orderings agree.
+    measured = {k: v[0] for k, v in classes.items()}
+    predicted = {k: v[1] for k, v in classes.items()}
+    for costs in (measured, predicted):
+        assert costs["small-ssd"] < costs["small-random-hdd"]
+        assert costs["large-ssd"] > costs["small-ssd"]
+
+
+def test_ssd_prediction_is_tight(setup):
+    """No mechanics, no caching: T_C should be within ~2x of measured."""
+    spec, model = setup
+    for size in (16 * KiB, 256 * KiB, 1 * MiB):
+        measured = measure_cserver(spec, size)
+        predicted = model.cost_cservers("read", size)
+        assert predicted == pytest.approx(measured, rel=1.0), (
+            size, measured, predicted
+        )
+
+
+def test_hdd_random_prediction_within_factor(setup):
+    """Seek+rotation dominated: model within a small factor."""
+    spec, model = setup
+    measured = measure_dserver(spec, 16 * KiB, "random")
+    predicted = model.cost_dservers("read", 0, 16 * KiB, FAR)
+    # The model is intentionally conservative (worst-case startup term);
+    # it must not *under*estimate by much, nor overestimate wildly.
+    assert predicted > 0.5 * measured
+    assert predicted < 10 * measured
+
+
+def test_benefit_sign_matches_measured_advantage(setup):
+    """Positive B <=> the SSD path is actually faster in simulation."""
+    spec, model = setup
+    for size in (16 * KiB, 256 * KiB):
+        advantage = measure_dserver(spec, size, "random") - measure_cserver(
+            spec, size
+        )
+        predicted = model.benefit("read", 0, size, FAR)
+        assert (advantage > 0) == (predicted > 0)

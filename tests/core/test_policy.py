@@ -1,0 +1,45 @@
+"""Tests for admission policies."""
+
+import pytest
+
+from repro.core import (
+    AlwaysCachePolicy,
+    NeverCachePolicy,
+    SelectivePolicy,
+    SizeThresholdPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+from repro.units import KiB
+
+
+def test_selective_follows_benefit_sign():
+    p = SelectivePolicy()
+    assert p.is_critical("write", 0, 16 * KiB, benefit=0.001)
+    assert not p.is_critical("write", 0, 16 * KiB, benefit=0.0)
+    assert not p.is_critical("write", 0, 16 * KiB, benefit=-0.001)
+
+
+def test_always_and_never():
+    assert AlwaysCachePolicy().is_critical("read", 0, 1, -1.0)
+    assert not NeverCachePolicy().is_critical("read", 0, 1, 1.0)
+
+
+def test_size_threshold():
+    p = SizeThresholdPolicy("64KB")
+    assert p.is_critical("write", 0, 64 * KiB, -1.0)
+    assert not p.is_critical("write", 0, 64 * KiB + 1, 1.0)
+    assert p.name == f"size:{64 * KiB}"
+    with pytest.raises(ConfigError):
+        SizeThresholdPolicy(0)
+
+
+def test_make_policy_specs():
+    assert make_policy("selective").name == "selective"
+    assert make_policy("always").name == "always"
+    assert make_policy("never").name == "never"
+    assert make_policy("size:8KB").threshold == 8 * KiB
+    existing = SelectivePolicy()
+    assert make_policy(existing) is existing
+    with pytest.raises(ConfigError):
+        make_policy("psychic")

@@ -1,0 +1,216 @@
+"""Tests for Algorithm 1 (the Redirector) — pure decision logic."""
+
+import pytest
+
+from repro.core import CDT, DMT, CacheSpace, Redirector
+from repro.core.redirector import TO_CSERVERS, TO_DSERVERS
+from repro.errors import CacheError
+
+DF, CF = "/data", "/data.s4dcache"
+
+
+def make_redirector(capacity=1000):
+    dmt = DMT()
+    cdt = CDT()
+    space = CacheSpace(capacity)
+    space.register_cache_file(CF)
+    return Redirector(dmt, cdt, space, None), dmt, cdt, space
+
+
+def admit(cdt, offset, size, benefit=1.0):
+    return cdt.admit(DF, offset, size, benefit)
+
+
+# -- write paths (Algorithm 1 lines 2-15) --------------------------------
+
+def test_critical_write_miss_goes_to_cservers():
+    r, dmt, cdt, space = make_redirector()
+    entry = admit(cdt, 0, 100)
+    plan = r.route("write", DF, CF, 0, 100, entry)
+    assert [s.target for s in plan.steps] == [TO_CSERVERS]
+    assert plan.steps[0].extent.dirty
+    assert space.used == 100
+    assert dmt.fully_mapped(DF, 0, 100)
+    assert plan.metadata_mutations >= 1
+
+
+def test_noncritical_write_miss_goes_to_dservers():
+    r, dmt, _, space = make_redirector()
+    plan = r.route("write", DF, CF, 0, 100, None)
+    assert [s.target for s in plan.steps] == [TO_DSERVERS]
+    assert space.used == 0
+    assert len(dmt) == 0
+
+
+def test_critical_write_without_space_bounces_to_dservers():
+    r, _, cdt, _ = make_redirector(capacity=50)
+    entry = admit(cdt, 0, 100)
+    plan = r.route("write", DF, CF, 0, 100, entry)
+    assert [s.target for s in plan.steps] == [TO_DSERVERS]
+    assert r.metrics.write_bounced == 1
+
+
+def test_write_uses_clean_space_when_free_exhausted():
+    r, dmt, cdt, space = make_redirector(capacity=100)
+    e1 = admit(cdt, 0, 100)
+    first = r.route("write", DF, CF, 0, 100, e1)
+    first.release()  # the request's data movement completed
+    # Flush happened: extent now clean.
+    extent = dmt.lookup(DF, 0, 100)[0][2]
+    dmt.set_dirty(extent, False)
+    e2 = admit(cdt, 200, 100)
+    plan = r.route("write", DF, CF, 200, 100, e2)
+    assert [s.target for s in plan.steps] == [TO_CSERVERS]
+    assert space.evictions == 1
+    assert dmt.lookup(DF, 0, 100)[0][2] is None  # old mapping evicted
+
+
+def test_pinned_extent_not_evicted_until_release():
+    r, dmt, cdt, space = make_redirector(capacity=100)
+    e1 = admit(cdt, 0, 100)
+    in_flight = r.route("write", DF, CF, 0, 100, e1)
+    extent = dmt.lookup(DF, 0, 100)[0][2]
+    dmt.set_dirty(extent, False)  # flushed, clean — but still pinned
+    e2 = admit(cdt, 200, 100)
+    blocked = r.route("write", DF, CF, 200, 100, e2)
+    assert [s.target for s in blocked.steps] == [TO_DSERVERS]  # bounced
+    assert space.evictions == 0
+    in_flight.release()
+    blocked.release()
+    e3 = admit(cdt, 400, 100)
+    plan = r.route("write", DF, CF, 400, 100, e3)
+    assert [s.target for s in plan.steps] == [TO_CSERVERS]
+    assert space.evictions == 1
+    plan.release()
+    assert plan.release() is None  # idempotent
+
+
+def test_hit_segments_survive_same_request_eviction_pressure():
+    """Regression: a miss segment's eviction must not invalidate a hit
+    segment of the same request (found by hypothesis)."""
+    r, dmt, cdt, space = make_redirector(capacity=200)
+    e1 = admit(cdt, 100, 200)
+    first = r.route("write", DF, CF, 100, 200, e1)
+    first.release()
+    extent = dmt.lookup(DF, 100, 200)[0][2]
+    dmt.set_dirty(extent, False)  # flushed
+    # Overlapping write: [0,100) misses (needs eviction), [100,300) hits.
+    e2 = admit(cdt, 0, 300)
+    plan = r.route("write", DF, CF, 0, 300, e2)
+    plan.release()
+    # The hit re-dirtied the extent before the miss looked for space,
+    # so the extent was NOT evicted; the miss bounced instead.
+    assert dmt.lookup(DF, 100, 300)[0][2] is extent
+    assert extent.dirty
+    targets = [(s.target, s.d_offset) for s in plan.steps]
+    assert (TO_CSERVERS, 100) in targets
+    assert (TO_DSERVERS, 0) in targets
+    assert space.evictions == 0
+    # And no ghost records: in-memory table matches the durable store.
+    assert len(dmt.db) == len(dmt)
+
+
+def test_write_hit_redirects_and_redirties():
+    r, dmt, cdt, _ = make_redirector()
+    entry = admit(cdt, 0, 100)
+    first = r.route("write", DF, CF, 0, 100, entry)
+    extent = first.steps[0].extent
+    dmt.set_dirty(extent, False)  # pretend flushed
+    epoch = extent.dirty_epoch
+    second = r.route("write", DF, CF, 0, 100, None)  # hit needs no CDT
+    assert [s.target for s in second.steps] == [TO_CSERVERS]
+    assert second.steps[0].c_offset == first.steps[0].c_offset
+    assert extent.dirty
+    assert extent.dirty_epoch == epoch + 1
+    assert r.metrics.write_hits == 1
+
+
+# -- read paths (lines 16-22) ---------------------------------------------
+
+def test_read_hit_served_from_cservers():
+    r, _, cdt, _ = make_redirector()
+    entry = admit(cdt, 0, 100)
+    write = r.route("write", DF, CF, 0, 100, entry)
+    plan = r.route("read", DF, CF, 0, 100, None)
+    assert [s.target for s in plan.steps] == [TO_CSERVERS]
+    assert plan.steps[0].c_offset == write.steps[0].c_offset
+    assert r.metrics.read_hits == 1
+
+
+def test_read_miss_goes_to_dservers_and_sets_cflag():
+    r, _, cdt, space = make_redirector()
+    entry = admit(cdt, 0, 100)
+    plan = r.route("read", DF, CF, 0, 100, entry)
+    assert [s.target for s in plan.steps] == [TO_DSERVERS]
+    assert entry.c_flag  # lazy fetch requested
+    assert space.used == 0  # no synchronous caching of read misses
+    assert r.metrics.lazy_fetch_marks == 1
+
+
+def test_noncritical_read_miss_plain():
+    r, _, _, _ = make_redirector()
+    plan = r.route("read", DF, CF, 0, 100, None)
+    assert [s.target for s in plan.steps] == [TO_DSERVERS]
+    assert plan.metadata_mutations == 0
+
+
+def test_read_cflag_set_only_once():
+    r, _, cdt, _ = make_redirector()
+    entry = admit(cdt, 0, 100)
+    p1 = r.route("read", DF, CF, 0, 100, entry)
+    p2 = r.route("read", DF, CF, 0, 100, entry)
+    assert p1.metadata_mutations == 1
+    assert p2.metadata_mutations == 0
+
+
+# -- partial overlap (the segment generalisation) ----------------------
+
+def test_partial_hit_splits_request():
+    r, _, cdt, _ = make_redirector()
+    entry = admit(cdt, 0, 100)
+    r.route("write", DF, CF, 0, 100, entry)
+    # Read [50, 200): 50-100 hits, 100-200 misses.
+    plan = r.route("read", DF, CF, 50, 150, None)
+    assert [(s.target, s.d_offset, s.size) for s in plan.steps] == [
+        (TO_CSERVERS, 50, 50),
+        (TO_DSERVERS, 100, 100),
+    ]
+    # Hit segment addressed at the right cache offset.
+    assert plan.steps[0].c_offset == 50
+    assert r.metrics.requests_split == 1
+
+
+def test_partial_write_fills_gap_with_new_extent():
+    r, dmt, cdt, space = make_redirector()
+    e1 = admit(cdt, 0, 100)
+    r.route("write", DF, CF, 0, 100, e1)
+    big = admit(cdt, 0, 300)
+    plan = r.route("write", DF, CF, 0, 300, big)
+    assert [s.target for s in plan.steps] == [TO_CSERVERS, TO_CSERVERS]
+    assert dmt.fully_mapped(DF, 0, 300)
+    assert space.used == 300
+
+
+def test_request_distribution_counts_majority():
+    r, _, cdt, _ = make_redirector()
+    entry = admit(cdt, 0, 100)
+    r.route("write", DF, CF, 0, 100, entry)      # all CServers
+    r.route("write", DF, CF, 500, 100, None)     # all DServers
+    r.route("read", DF, CF, 0, 250, None)        # 100 C / 150 D -> D
+    d_pct, c_pct = r.metrics.request_distribution()
+    assert (d_pct, c_pct) == (pytest.approx(200 / 3), pytest.approx(100 / 3))
+
+
+def test_unknown_op_rejected():
+    r, _, _, _ = make_redirector()
+    with pytest.raises(CacheError):
+        r.route("erase", DF, CF, 0, 100, None)
+
+
+def test_byte_accounting():
+    r, _, cdt, _ = make_redirector()
+    entry = admit(cdt, 0, 100)
+    r.route("write", DF, CF, 0, 100, entry)
+    r.route("write", DF, CF, 500, 50, None)
+    assert r.metrics.bytes_to_cservers == 100
+    assert r.metrics.bytes_to_dservers == 50

@@ -1,0 +1,170 @@
+"""Tests for the cache space manager (free lists + clean LRU)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CacheSpace, DMT
+from repro.core.space import _FileSpace
+from repro.errors import CacheError
+
+CF = "/f.cache"
+
+
+def make_space(capacity=1000):
+    space = CacheSpace(capacity)
+    space.register_cache_file(CF)
+    return space
+
+
+def test_free_space_allocation():
+    space = make_space(100)
+    a = space.find_free_space(CF, 60)
+    assert a is not None and a.c_offset == 0 and a.length == 60
+    b = space.find_free_space(CF, 40)
+    assert b is not None and b.c_offset == 60
+    assert space.find_free_space(CF, 1) is None
+    assert space.free_bytes == 0
+
+
+def test_release_makes_space_reusable():
+    space = make_space(100)
+    a = space.find_free_space(CF, 100)
+    space.release(CF, a.c_offset, a.length)
+    assert space.free_bytes == 100
+    assert space.find_free_space(CF, 100) is not None
+
+
+def test_double_release_rejected():
+    space = make_space(100)
+    a = space.find_free_space(CF, 50)
+    space.release(CF, a.c_offset, a.length)
+    with pytest.raises(CacheError):
+        space.release(CF, a.c_offset, a.length)
+
+
+def test_clean_space_evicts_lru():
+    space = make_space(100)
+    dmt = DMT()
+    exts = []
+    for i in range(4):
+        a = space.find_free_space(CF, 25)
+        ext = dmt.add("/f", i * 25, CF, a.c_offset, 25, dirty=False)
+        space.touch(ext)
+        exts.append(ext)
+    # Touch extent 0 so extent 1 becomes LRU.
+    space.touch(exts[0])
+    alloc = space.find_clean_space(CF, 25, dmt)
+    assert alloc is not None
+    assert dmt.lookup("/f", 25, 25)[0][2] is None  # extent 1 evicted
+    assert dmt.lookup("/f", 0, 25)[0][2] is exts[0]
+    assert space.evictions == 1
+
+
+def test_clean_space_skips_dirty_extents():
+    space = make_space(100)
+    dmt = DMT()
+    for i in range(4):
+        a = space.find_free_space(CF, 25)
+        ext = dmt.add("/f", i * 25, CF, a.c_offset, 25, dirty=(i < 2))
+        space.touch(ext)
+    # Extents 0,1 dirty; 2,3 clean -> two evictions possible.
+    assert space.find_clean_space(CF, 25, dmt) is not None
+    assert space.find_clean_space(CF, 25, dmt) is not None
+    assert space.find_clean_space(CF, 25, dmt) is None  # only dirty left
+    assert space.evictions == 2
+
+
+def test_evict_dirty_rejected():
+    space = make_space(100)
+    dmt = DMT()
+    a = space.find_free_space(CF, 50)
+    ext = dmt.add("/f", 0, CF, a.c_offset, 50, dirty=True)
+    with pytest.raises(CacheError):
+        space.evict(ext, dmt)
+
+
+def test_zero_capacity_never_allocates():
+    space = CacheSpace(0)
+    space.register_cache_file(CF)
+    assert space.find_free_space(CF, 1) is None
+    assert space.find_clean_space(CF, 1, DMT()) is None
+
+
+def test_unregistered_file_rejected():
+    space = CacheSpace(100)
+    with pytest.raises(CacheError):
+        space.find_free_space("/ghost", 10)
+
+
+def test_bad_sizes_rejected():
+    space = make_space()
+    with pytest.raises(CacheError):
+        space.find_free_space(CF, 0)
+    with pytest.raises(CacheError):
+        CacheSpace(-1)
+
+
+def test_capacity_shared_across_cache_files():
+    space = CacheSpace(100)
+    space.register_cache_file("/a.cache")
+    space.register_cache_file("/b.cache")
+    assert space.find_free_space("/a.cache", 70) is not None
+    # Global budget leaves only 30 for the other file.
+    assert space.find_free_space("/b.cache", 40) is None
+    assert space.find_free_space("/b.cache", 30) is not None
+
+
+# -- _FileSpace free list ------------------------------------------------
+
+def test_filespace_coalesce_neighbours():
+    fs = _FileSpace(100)
+    a = fs.allocate(30)
+    b = fs.allocate(30)
+    c = fs.allocate(40)
+    assert (a, b, c) == (0, 30, 60)
+    fs.free(0, 30)
+    fs.free(60, 40)
+    fs.free(30, 30)  # merges with both sides
+    assert fs.largest_hole() == 100
+    assert fs.free_bytes == 100
+
+
+def test_filespace_first_fit():
+    fs = _FileSpace(100)
+    fs.allocate(10)       # [0,10)
+    b = fs.allocate(20)   # [10,30)
+    fs.allocate(10)       # [30,40)
+    fs.free(b, 20)
+    # First fit: a 15-byte request lands in the 20-byte hole at 10.
+    assert fs.allocate(15) == 10
+
+
+def test_filespace_free_out_of_bounds():
+    fs = _FileSpace(100)
+    with pytest.raises(CacheError):
+        fs.free(90, 20)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=30)),
+        max_size=60,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_filespace_accounting_invariant(ops):
+    """Allocated + free == limit at all times; no overlap ever."""
+    fs = _FileSpace(500)
+    live: list[tuple[int, int]] = []
+    for do_alloc, size in ops:
+        if do_alloc or not live:
+            offset = fs.allocate(size)
+            if offset is not None:
+                for o, s in live:
+                    assert offset + size <= o or offset >= o + s
+                live.append((offset, size))
+        else:
+            offset, size = live.pop(0)
+            fs.free(offset, size)
+        assert fs.free_bytes == 500 - sum(s for _, s in live)

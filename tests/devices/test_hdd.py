@@ -1,0 +1,150 @@
+"""Unit tests for the HDD timing model."""
+
+import random
+
+import pytest
+
+from repro.devices import HDD, HDDSpec, SeekProfile
+from repro.errors import ConfigError, DeviceError
+from repro.units import GiB, KiB, MiB
+
+
+def make_hdd(**overrides) -> HDD:
+    defaults = dict(rotation_mode="expected")
+    defaults.update(overrides)
+    return HDD(HDDSpec(**defaults))
+
+
+def test_sequential_requests_stream_without_positioning():
+    hdd = make_hdd()
+    first = hdd.service_time("read", 0, MiB)
+    second = hdd.service_time("read", MiB, MiB)
+    # Second request continues where the head is: pure transfer.
+    assert second == pytest.approx(MiB * hdd.spec.beta)
+    assert first >= second  # first may pay positioning at offset 0? (d=0)
+    assert hdd.seek_count == 0  # offset 0 from landing zone is d == 0
+
+
+def test_random_request_pays_seek_and_rotation():
+    hdd = make_hdd()
+    hdd.service_time("read", 0, MiB)
+    far = hdd.service_time("read", 100 * GiB, MiB)
+    near = MiB * hdd.spec.beta
+    assert far > near + hdd.spec.avg_rotation
+    assert hdd.seek_count == 1
+
+
+def test_seek_time_grows_with_distance():
+    hdd = make_hdd()
+    profile = hdd.spec.profile()
+    times = [profile.seek_time(d) for d in (MiB, GiB, 50 * GiB, 200 * GiB)]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_seek_time_zero_distance_is_free():
+    profile = SeekProfile.default_250gb()
+    assert profile.seek_time(0) == 0.0
+
+
+def test_seek_profile_continuous_at_knee():
+    profile = SeekProfile.default_250gb()
+    bpc = profile.bytes_per_cylinder
+    below = profile.seek_time((profile.knee - 1) * bpc)
+    at = profile.seek_time(profile.knee * bpc)
+    assert at == pytest.approx(below, rel=0.01)
+
+
+def test_max_seek_is_plausible():
+    profile = SeekProfile.default_250gb()
+    # Full-stroke seek of a 7200rpm 3.5" disk: 10-25 ms.
+    assert 8e-3 < profile.max_seek < 25e-3
+
+
+def test_random_read_much_slower_than_sequential_for_small_requests():
+    """The premise of the whole paper (Fig. 1) at single-device level."""
+    rng = random.Random(7)
+    size = 16 * KiB
+    span = 16 * GiB
+
+    seq = HDD(HDDSpec())
+    seq_time = sum(
+        seq.service_time("read", i * size, size, rng) for i in range(200)
+    )
+    rnd = HDD(HDDSpec())
+    rnd_time = sum(
+        rnd.service_time(
+            "read", rng.randrange(0, span - size), size, rng
+        )
+        for i in range(200)
+    )
+    assert rnd_time > 5 * seq_time
+
+
+def test_large_requests_close_the_random_gap():
+    rng = random.Random(7)
+    size = 32 * MiB
+    span = 100 * GiB
+    seq = HDD(HDDSpec())
+    seq_time = sum(seq.service_time("read", i * size, size, rng) for i in range(20))
+    rnd = HDD(HDDSpec())
+    rnd_time = sum(
+        rnd.service_time("read", rng.randrange(0, span - size), size, rng)
+        for _ in range(20)
+    )
+    # Positioning is amortised: gap below 1.2x for 32MB requests.
+    assert rnd_time < 1.2 * seq_time
+
+
+def test_rotation_sampled_mode_uses_rng():
+    hdd = HDD(HDDSpec(rotation_mode="sampled"))
+    hdd.service_time("read", 0, KiB)
+    t1 = hdd.positioning_time(10 * GiB, random.Random(1))
+    t2 = hdd.positioning_time(10 * GiB, random.Random(2))
+    assert t1 != t2
+
+
+def test_capacity_overflow_rejected():
+    hdd = make_hdd()
+    with pytest.raises(DeviceError):
+        hdd.service_time("read", hdd.capacity_bytes - 10, 100)
+
+
+def test_unknown_op_rejected():
+    hdd = make_hdd()
+    with pytest.raises(DeviceError):
+        hdd.service_time("erase", 0, 10)
+
+
+def test_negative_offset_rejected():
+    hdd = make_hdd()
+    with pytest.raises(DeviceError):
+        hdd.service_time("read", -1, 10)
+
+
+def test_reset_clears_state():
+    hdd = make_hdd()
+    hdd.service_time("read", 0, MiB)
+    hdd.service_time("read", 10 * GiB, MiB)
+    hdd.reset()
+    assert hdd.head_position is None
+    assert hdd.total_requests == 0
+    assert hdd.seek_count == 0
+
+
+def test_bad_spec_rejected():
+    with pytest.raises(ConfigError):
+        HDDSpec(rotation_period=0)
+    with pytest.raises(ConfigError):
+        HDDSpec(transfer_rate=-1)
+    with pytest.raises(ConfigError):
+        HDDSpec(rotation_mode="psychic")
+
+
+def test_stats_accumulate():
+    hdd = make_hdd()
+    hdd.service_time("read", 0, MiB)
+    hdd.service_time("write", 2 * MiB, MiB)
+    assert hdd.total_requests == 2
+    assert hdd.total_bytes == 2 * MiB
+    assert hdd.total_busy_time > 0

@@ -1,0 +1,94 @@
+"""Unit tests for offline device profiling (cost-model parameters)."""
+
+import random
+
+import pytest
+
+from repro.devices import HDD, SSD, DeviceProfiler, HDDSpec, SSDSpec
+from repro.errors import DeviceError
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def hdd_profile():
+    profiler = DeviceProfiler(rng=random.Random(42))
+    return profiler.profile(HDD(HDDSpec()))
+
+
+@pytest.fixture(scope="module")
+def ssd_profile():
+    return DeviceProfiler().profile(SSD(SSDSpec()))
+
+
+def test_hdd_beta_matches_transfer_rate(hdd_profile):
+    true_beta = HDDSpec().beta
+    assert hdd_profile.beta_read == pytest.approx(true_beta, rel=0.02)
+    assert hdd_profile.beta("write") == pytest.approx(true_beta, rel=0.02)
+
+
+def test_hdd_rotation_estimate_close(hdd_profile):
+    # R should land near the true average rotational delay (4.17 ms).
+    true_r = HDDSpec().avg_rotation
+    assert hdd_profile.avg_rotation == pytest.approx(true_r, rel=0.5)
+
+
+def test_hdd_seek_curve_tracks_ground_truth(hdd_profile):
+    truth = HDDSpec().profile()
+    for d in (MiB, 100 * MiB, GiB, 10 * GiB, 100 * GiB):
+        measured = hdd_profile.seek_time(d)
+        actual = truth.seek_time(d)
+        assert measured == pytest.approx(actual, rel=0.35, abs=1.5e-3)
+
+
+def test_hdd_max_seek_plausible(hdd_profile):
+    assert 5e-3 < hdd_profile.max_seek < 30e-3
+
+
+def test_seek_curve_monotone(hdd_profile):
+    distances = [64 * KiB * (4**i) for i in range(10)]
+    times = [hdd_profile.seek_time(d) for d in distances]
+    assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+
+
+def test_ssd_profile_has_no_mechanics(ssd_profile):
+    assert ssd_profile.seek_time(100 * GiB) == 0.0
+    assert ssd_profile.avg_rotation == 0.0
+    assert ssd_profile.max_seek == 0.0
+
+
+def test_ssd_beta_matches_rates(ssd_profile):
+    spec = SSDSpec()
+    assert ssd_profile.beta_read == pytest.approx(spec.beta("read"), rel=0.01)
+    assert ssd_profile.beta_write == pytest.approx(spec.beta("write"), rel=0.01)
+
+
+def test_ssd_latency_recovered(ssd_profile):
+    spec = SSDSpec()
+    assert ssd_profile.latency_read == pytest.approx(spec.read_latency, rel=0.1)
+    assert ssd_profile.latency_write == pytest.approx(spec.write_latency, rel=0.1)
+
+
+def test_ssd_beta_smaller_than_hdd_effective_small_request_cost(
+    hdd_profile, ssd_profile
+):
+    """Cost-model view of why small random requests belong on SSD."""
+    size = 16 * KiB
+    hdd_cost = hdd_profile.seek_time(GiB) + hdd_profile.avg_rotation
+    hdd_cost += size * hdd_profile.beta_read
+    ssd_cost = ssd_profile.latency_read + size * ssd_profile.beta_read
+    assert hdd_cost > 10 * ssd_cost
+
+
+def test_profiler_rejects_unknown_device():
+    class Weird:
+        kind = "weird"
+
+    with pytest.raises(DeviceError):
+        DeviceProfiler().profile(Weird())  # type: ignore[arg-type]
+
+
+def test_profiling_leaves_device_reset():
+    device = HDD(HDDSpec())
+    DeviceProfiler(rng=random.Random(1)).profile(device)
+    assert device.total_requests == 0
+    assert device.head_position is None

@@ -1,0 +1,94 @@
+"""Unit tests for the SSD timing model."""
+
+import random
+
+import pytest
+
+from repro.devices import SSD, SSDSpec
+from repro.errors import ConfigError, DeviceError
+from repro.units import GiB, KiB, MiB
+
+
+def test_ssd_random_equals_sequential():
+    """The key SSD property the paper exploits: locality-insensitive."""
+    ssd = SSD()
+    rng = random.Random(3)
+    size = 16 * KiB
+    seq = sum(ssd.service_time("read", i * size, size) for i in range(100))
+    rnd = sum(
+        ssd.service_time("read", rng.randrange(0, 50 * GiB), size)
+        for _ in range(100)
+    )
+    assert rnd == pytest.approx(seq)
+
+
+def test_reads_faster_than_writes():
+    ssd = SSD()
+    read = ssd.service_time("read", 0, MiB)
+    write = ssd.service_time("write", 0, MiB)
+    assert read < write
+
+
+def test_small_requests_dominated_by_latency():
+    ssd = SSD()
+    t = ssd.service_time("read", 0, 4 * KiB)
+    assert t >= ssd.spec.read_latency
+    # 4KB at full rate would be ~7us; latency dominates.
+    assert t < 10 * ssd.spec.read_latency
+
+
+def test_small_requests_do_not_reach_full_channel_parallelism():
+    spec = SSDSpec(channels=4, page_size=4096)
+    ssd = SSD(spec)
+    one_page = ssd.service_time("read", 0, 4096) - spec.read_latency
+    four_pages = ssd.service_time("read", 0, 4 * 4096) - spec.read_latency
+    # 4 pages across 4 channels take the same transfer time as 1 page
+    # on 1 channel.
+    assert four_pages == pytest.approx(one_page)
+
+
+def test_large_transfer_rate_matches_spec():
+    ssd = SSD()
+    size = 64 * MiB
+    t = ssd.service_time("read", 0, size)
+    rate = size / (t - ssd.spec.read_latency)
+    assert rate == pytest.approx(ssd.spec.read_rate, rel=1e-6)
+
+
+def test_zero_size_costs_latency_only():
+    ssd = SSD()
+    assert ssd.service_time("write", 0, 0) == ssd.spec.write_latency
+
+
+def test_capacity_enforced():
+    ssd = SSD()
+    with pytest.raises(DeviceError):
+        ssd.service_time("read", ssd.capacity_bytes, 1)
+
+
+def test_bad_spec_rejected():
+    with pytest.raises(ConfigError):
+        SSDSpec(read_rate=0)
+    with pytest.raises(ConfigError):
+        SSDSpec(read_latency=-1)
+    with pytest.raises(ConfigError):
+        SSDSpec(channels=0)
+
+
+def test_ssd_vs_hdd_small_random_advantage():
+    """SSD should beat HDD by a large factor on small random requests."""
+    from repro.devices import HDD, HDDSpec
+
+    rng = random.Random(11)
+    size = 16 * KiB
+    hdd = HDD(HDDSpec(rotation_mode="expected"))
+    ssd = SSD()
+    hdd_time = sum(
+        hdd.service_time("read", rng.randrange(0, 100 * GiB), size)
+        for _ in range(100)
+    )
+    ssd_time = sum(
+        ssd.service_time("read", rng.randrange(0, 50 * GiB), size)
+        for _ in range(100)
+    )
+    assert hdd_time > 20 * ssd_time

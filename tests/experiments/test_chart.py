@@ -1,0 +1,33 @@
+"""Tests for the text chart renderer."""
+
+from repro.experiments import ExperimentResult, Series
+from repro.experiments.chart import render_bars
+
+
+def make(ys_a, ys_b=None):
+    series = [Series("a", list(range(len(ys_a))), ys_a)]
+    if ys_b is not None:
+        series.append(Series("b", list(range(len(ys_b))), ys_b))
+    return ExperimentResult("t", "title", "x", "MB/s", series)
+
+
+def test_bars_scale_to_peak():
+    chart = render_bars(make([10.0, 20.0]), width=10)
+    lines = [l for l in chart.splitlines() if "|" in l]
+    assert lines[0].count("█") == 5
+    assert lines[1].count("█") == 10
+
+
+def test_two_series_use_distinct_glyphs():
+    chart = render_bars(make([10.0], [5.0]))
+    assert "█" in chart and "▓" in chart
+    assert "a" in chart and "b" in chart
+
+
+def test_zero_data_handled():
+    assert "no positive data" in render_bars(make([0.0, 0.0]))
+
+
+def test_values_annotated():
+    chart = render_bars(make([12.3]))
+    assert "12.3" in chart

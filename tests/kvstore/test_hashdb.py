@@ -1,0 +1,142 @@
+"""Tests for the HashDB store: CRUD, WAL durability, crash recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KVStoreClosed, KVStoreError
+from repro.kvstore import HashDB
+
+
+def test_put_get_roundtrip():
+    db = HashDB("dmt")
+    db.put("k", {"offset": 10})
+    assert db.get("k") == {"offset": 10}
+    assert "k" in db
+    assert db.get("missing") is None
+    assert db.get("missing", 7) == 7
+
+
+def test_delete():
+    db = HashDB("dmt")
+    db.put("k", 1)
+    db.delete("k")
+    assert "k" not in db
+    with pytest.raises(KVStoreError):
+        db.delete("k")
+
+
+def test_keys_items_len():
+    db = HashDB("dmt")
+    db.put("b", 2)
+    db.put("a", 1)
+    assert db.keys() == ["a", "b"]
+    assert db.items() == [("a", 1), ("b", 2)]
+    assert len(db) == 2
+
+
+def test_always_sync_survives_crash():
+    db = HashDB("dmt", sync_mode="always")
+    db.put("k", "v")
+    db.crash()
+    assert db.get("k") == "v"
+
+
+def test_manual_sync_loses_unsynced_on_crash():
+    db = HashDB("dmt", sync_mode="manual")
+    db.put("synced", 1)
+    db.sync()
+    db.put("lost", 2)
+    assert db.unsynced_records == 1
+    db.crash()
+    assert db.get("synced") == 1
+    assert "lost" not in db
+
+
+def test_crash_replays_deletes():
+    db = HashDB("dmt", sync_mode="always")
+    db.put("k", 1)
+    db.delete("k")
+    db.crash()
+    assert "k" not in db
+
+
+def test_sync_returns_flushed_count():
+    db = HashDB("dmt", sync_mode="manual")
+    db.put("a", 1)
+    db.put("b", 2)
+    assert db.sync() == 2
+    assert db.sync() == 0
+
+
+def test_compact_shrinks_log():
+    db = HashDB("dmt", sync_mode="always")
+    for i in range(10):
+        db.put("k", i)
+    assert db.durable_log_length == 10
+    db.compact()
+    assert db.durable_log_length == 1
+    db.crash()
+    assert db.get("k") == 9
+
+
+def test_close_syncs_and_blocks_access():
+    db = HashDB("dmt", sync_mode="manual")
+    db.put("k", 1)
+    db.close()
+    assert db.closed
+    with pytest.raises(KVStoreClosed):
+        db.get("k")
+    with pytest.raises(KVStoreClosed):
+        db.put("k", 2)
+    # Close is idempotent.
+    db.close()
+
+
+def test_bad_sync_mode_rejected():
+    with pytest.raises(KVStoreError):
+        HashDB("dmt", sync_mode="sometimes")
+
+
+def test_stats_counted():
+    db = HashDB("dmt")
+    db.put("a", 1)
+    db.get("a")
+    db.get("b")
+    assert db.puts == 1
+    assert db.gets == 2
+    assert db.syncs == 1
+
+
+_kv_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "sync", "crash"]),
+        st.sampled_from(["k1", "k2", "k3"]),
+        st.integers(min_value=0, max_value=100),
+    ),
+    max_size=50,
+)
+
+
+@given(_kv_ops)
+@settings(max_examples=200, deadline=None)
+def test_durability_model(ops):
+    """Applied state == model; post-crash state == synced model."""
+    db = HashDB("dmt", sync_mode="manual")
+    applied: dict[str, int] = {}
+    durable: dict[str, int] = {}
+    for op, key, value in ops:
+        if op == "put":
+            db.put(key, value)
+            applied[key] = value
+        elif op == "delete":
+            if key in applied:
+                db.delete(key)
+                del applied[key]
+        elif op == "sync":
+            db.sync()
+            durable = dict(applied)
+        else:  # crash
+            db.crash()
+            applied = dict(durable)
+        assert dict(db.items()) == applied

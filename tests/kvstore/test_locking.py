@@ -1,0 +1,146 @@
+"""Tests for the lock manager."""
+
+import pytest
+
+from repro.errors import KVStoreError, LockTimeout
+from repro.kvstore import LockManager
+from repro.kvstore.locking import TimeoutLock
+from repro.sim import Simulator
+
+
+def test_uncontended_acquire_is_immediate():
+    sim = Simulator()
+    locks = LockManager(sim)
+
+    def body():
+        token = yield locks.acquire("dmt", owner="p0")
+        assert locks.is_held("dmt")
+        locks.release(token)
+        assert not locks.is_held("dmt")
+        return sim.now
+
+    assert sim.run_process(body()) == 0.0
+
+
+def test_contended_lock_fifo():
+    sim = Simulator()
+    locks = LockManager(sim)
+    order = []
+
+    def worker(ident, hold):
+        token = yield locks.acquire("dmt", owner=str(ident))
+        order.append((ident, sim.now))
+        yield sim.timeout(hold)
+        locks.release(token)
+
+    def parent():
+        yield sim.all_of([sim.spawn(worker(i, 1.0)) for i in range(3)])
+
+    sim.run_process(parent())
+    assert order == [(0, 0.0), (1, 1.0), (2, 2.0)]
+    assert locks.contentions == 2
+
+
+def test_independent_keys_do_not_contend():
+    sim = Simulator()
+    locks = LockManager(sim)
+    times = []
+
+    def worker(key):
+        token = yield locks.acquire(key)
+        yield sim.timeout(1.0)
+        locks.release(token)
+        times.append(sim.now)
+
+    def parent():
+        yield sim.all_of([sim.spawn(worker("a")), sim.spawn(worker("b"))])
+
+    sim.run_process(parent())
+    assert times == [1.0, 1.0]
+
+
+def test_release_requires_ownership():
+    sim = Simulator()
+    locks = LockManager(sim)
+
+    def body():
+        token = yield locks.acquire("k")
+        stranger = yield locks.acquire("other")
+        with pytest.raises(KVStoreError):
+            locks.release(type(token)("k", "forged"))
+        locks.release(token)
+        locks.release(stranger)
+
+    sim.run_process(body())
+
+
+def test_with_lock_releases_on_exception():
+    sim = Simulator()
+    locks = LockManager(sim)
+
+    def critical():
+        yield sim.timeout(0.1)
+        raise RuntimeError("inside critical section")
+
+    def body():
+        try:
+            yield from locks.with_lock("k", critical)
+        except RuntimeError:
+            pass
+        assert not locks.is_held("k")
+        return True
+
+    assert sim.run_process(body())
+
+
+def test_timeout_lock_acquires_when_free():
+    sim = Simulator()
+    locks = LockManager(sim)
+    tlock = TimeoutLock(locks, budget=1.0)
+
+    def body():
+        token = yield from tlock.acquire("k")
+        locks.release(token)
+        return True
+
+    assert sim.run_process(body())
+
+
+def test_timeout_lock_raises_and_cancels():
+    sim = Simulator()
+    locks = LockManager(sim)
+    tlock = TimeoutLock(locks, budget=0.5)
+    outcome = {}
+
+    def holder():
+        token = yield locks.acquire("k")
+        yield sim.timeout(5.0)
+        locks.release(token)
+
+    def impatient():
+        try:
+            yield from tlock.acquire("k")
+        except LockTimeout:
+            outcome["timed_out"] = sim.now
+        # The cancelled request must not leave a ghost waiter.
+        assert locks.queue_length("k") == 0
+
+    def parent():
+        yield sim.all_of([sim.spawn(holder()), sim.spawn(impatient())])
+
+    sim.run_process(parent())
+    assert outcome["timed_out"] == 0.5
+    assert not locks.is_held("k")
+
+
+def test_cancel_unknown_acquire_rejected():
+    sim = Simulator()
+    locks = LockManager(sim)
+    with pytest.raises(KVStoreError):
+        locks.cancel("k", sim.event())
+
+
+def test_timeout_lock_bad_budget():
+    sim = Simulator()
+    with pytest.raises(KVStoreError):
+        TimeoutLock(LockManager(sim), budget=0)

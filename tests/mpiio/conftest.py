@@ -1,0 +1,28 @@
+"""Shared fixtures: a small simulated stock I/O stack."""
+
+import pytest
+
+from repro.devices import HDD, HDDSpec
+from repro.network import Fabric, NetworkSpec
+from repro.pfs import PFS, FileServer, PFSSpec
+from repro.mpiio import DirectIO
+from repro.sim import Simulator
+from repro.units import GiB, KiB
+
+
+@pytest.fixture
+def stack():
+    """(sim, layer) over 4 HDD servers and 4 compute nodes."""
+    sim = Simulator(seed=7)
+    fabric = Fabric(sim, NetworkSpec())
+    servers = [
+        FileServer(
+            sim,
+            f"ds{i}",
+            HDD(HDDSpec(capacity_bytes=GiB, rotation_mode="expected")),
+        )
+        for i in range(4)
+    ]
+    pfs = PFS(sim, "opfs", servers, PFSSpec(stripe_size=64 * KiB))
+    layer = DirectIO(sim, pfs, fabric, num_nodes=4)
+    return sim, layer

@@ -1,0 +1,118 @@
+"""Tests for the MPI-IO File API over DirectIO."""
+
+import pytest
+
+from repro.errors import MPIIOError
+from repro.mpiio import MPIFile
+from repro.units import KiB, MiB
+
+
+def test_open_write_read_close(stack):
+    sim, layer = stack
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/data", MiB)
+        wres = yield from f.write(64 * KiB)
+        f.seek(0)
+        rres = yield from f.read(64 * KiB)
+        yield from f.close()
+        return wres, rres
+
+    wres, rres = sim.run_process(body())
+    assert rres.segments == [(0, 64 * KiB, wres.stamp)]
+
+
+def test_file_pointer_advances(stack):
+    sim, layer = stack
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/data", MiB)
+        yield from f.write(KiB)
+        yield from f.write(KiB)
+        assert f.position == 2 * KiB
+        yield from f.close()
+        return f.results
+
+    results = sim.run_process(body())
+    assert [(r.offset, r.size) for r in results] == [(0, KiB), (KiB, KiB)]
+
+
+def test_read_at_does_not_move_pointer(stack):
+    sim, layer = stack
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/data", MiB)
+        yield from f.write_at(0, 4 * KiB)
+        yield from f.read_at(KiB, KiB)
+        assert f.position == 0
+        yield from f.close()
+
+    sim.run_process(body())
+
+
+def test_seek_modes(stack):
+    sim, layer = stack
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/data", MiB)
+        assert f.seek(100) == 100
+        assert f.seek(50, "cur") == 150
+        with pytest.raises(MPIIOError):
+            f.seek(-200, "cur")
+        with pytest.raises(MPIIOError):
+            f.seek(0, "end")
+        yield from f.close()
+
+    sim.run_process(body())
+
+
+def test_operations_on_closed_file_rejected(stack):
+    sim, layer = stack
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/data", MiB)
+        yield from f.close()
+        assert not f.is_open
+        with pytest.raises(MPIIOError):
+            yield from f.read(KiB)
+        with pytest.raises(MPIIOError):
+            f.seek(0)
+
+    sim.run_process(body())
+
+
+def test_two_ranks_share_handle_but_not_pointer(stack):
+    sim, layer = stack
+
+    def body():
+        f0 = yield from MPIFile.open(layer, 0, "/shared", MiB)
+        f1 = yield from MPIFile.open(layer, 1, "/shared", MiB)
+        assert f0.handle is f1.handle
+        assert f0.handle.open_count == 2
+        yield from f0.write(KiB)
+        assert f0.position == KiB
+        assert f1.position == 0
+        yield from f0.close()
+        yield from f1.close()
+        assert f0.handle.open_count == 0
+
+    sim.run_process(body())
+
+
+def test_ranks_map_to_nodes_round_robin(stack):
+    _, layer = stack
+    assert layer.node_for(0) == "node0"
+    assert layer.node_for(4) == "node0"
+    assert layer.node_for(5) == "node1"
+
+
+def test_unknown_op_rejected(stack):
+    sim, layer = stack
+
+    def body():
+        f = yield from MPIFile.open(layer, 0, "/data", MiB)
+        yield from layer.io(0, f.handle, "erase", 0, KiB)
+
+    sim.spawn(body())
+    with pytest.raises(MPIIOError):
+        sim.run()

@@ -1,0 +1,92 @@
+"""Tests for data sieving."""
+
+import pytest
+
+from repro.errors import MPIIOError
+from repro.mpiio import MPIJob, sieve_read, sieve_write
+from repro.mpiio.datasieve import coalesce
+from repro.units import KiB, MiB
+
+
+def test_coalesce_merges_within_hole_budget():
+    segs = [(0, 10), (15, 10), (100, 10)]
+    assert coalesce(segs, max_hole=5) == [(0, 25), (100, 10)]
+    assert coalesce(segs, max_hole=0) == segs
+    assert coalesce(segs, max_hole=1000) == [(0, 110)]
+
+
+def test_coalesce_sorts_and_drops_empty():
+    assert coalesce([(50, 5), (0, 5), (10, 0)], max_hole=0) == [(0, 5), (50, 5)]
+
+
+def test_coalesce_rejects_overlap():
+    with pytest.raises(MPIIOError):
+        coalesce([(0, 10), (5, 10)], max_hole=0)
+    with pytest.raises(MPIIOError):
+        coalesce([(0, 10)], max_hole=-1)
+
+
+def test_sieve_read_issues_fewer_requests(stack):
+    sim, layer = stack
+    segments = [(i * 8 * KiB, 4 * KiB) for i in range(16)]
+
+    def body(ctx):
+        f = yield from ctx.open("/data", 4 * MiB)
+        yield from f.write_at(0, 2 * MiB)  # populate
+        results = yield from sieve_read(f, segments, max_hole=4 * KiB)
+        assert len(results) == 1
+        assert results[0].size == 16 * 8 * KiB - 4 * KiB
+
+    MPIJob(sim, layer, size=1).run(body)
+
+
+def test_sieve_read_faster_than_naive(stack):
+    sim, layer = stack
+    segments = [(i * 8 * KiB, 4 * KiB) for i in range(32)]
+    times = {}
+
+    def naive(ctx):
+        f = yield from ctx.open("/naive", 4 * MiB)
+        yield from f.write_at(0, 2 * MiB)
+        start = ctx.sim.now
+        for off, size in segments:
+            yield from f.read_at(off, size)
+        times["naive"] = ctx.sim.now - start
+
+    def sieved(ctx):
+        f = yield from ctx.open("/sieved", 4 * MiB)
+        yield from f.write_at(0, 2 * MiB)
+        start = ctx.sim.now
+        yield from sieve_read(f, segments, max_hole=8 * KiB)
+        times["sieved"] = ctx.sim.now - start
+
+    MPIJob(sim, layer, size=1).run(naive)
+    MPIJob(sim, layer, size=1).run(sieved)
+    assert times["sieved"] < times["naive"]
+
+
+def test_sieve_write_contiguous_skips_read(stack):
+    sim, layer = stack
+
+    def body(ctx):
+        f = yield from ctx.open("/data", MiB)
+        results = yield from sieve_write(f, [(0, 4 * KiB), (4 * KiB, 4 * KiB)],
+                                         max_hole=0)
+        assert [r.op for r in results] == ["write"]
+        assert results[0].size == 8 * KiB
+
+    MPIJob(sim, layer, size=1).run(body)
+
+
+def test_sieve_write_with_holes_does_rmw(stack):
+    sim, layer = stack
+
+    def body(ctx):
+        f = yield from ctx.open("/data", MiB)
+        results = yield from sieve_write(f, [(0, 4 * KiB), (8 * KiB, 4 * KiB)],
+                                         max_hole=4 * KiB)
+        # Read-modify-write: one read of the extent, then one write.
+        assert [r.op for r in results] == ["read", "write"]
+        assert all(r.size == 12 * KiB for r in results)
+
+    MPIJob(sim, layer, size=1).run(body)

@@ -1,0 +1,111 @@
+"""Tests for MPI job execution and barriers."""
+
+import pytest
+
+from repro.errors import MPIIOError
+from repro.mpiio import MPIJob
+from repro.mpiio.job import Barrier
+from repro.units import KiB, MiB
+
+
+def test_job_runs_all_ranks(stack):
+    sim, layer = stack
+    seen = []
+
+    def body(ctx):
+        f = yield from ctx.open("/shared", MiB)
+        yield from f.write_at(ctx.rank * 64 * KiB, 64 * KiB)
+        seen.append(ctx.rank)
+
+    stats = MPIJob(sim, layer, size=4).run(body)
+    assert sorted(seen) == [0, 1, 2, 3]
+    assert len(stats) == 4
+    assert all(s.bytes_written == 64 * KiB for s in stats)
+
+
+def test_open_files_closed_automatically(stack):
+    sim, layer = stack
+    files = []
+
+    def body(ctx):
+        f = yield from ctx.open("/shared", MiB)
+        files.append(f)
+        yield from f.write(KiB)
+
+    MPIJob(sim, layer, size=2).run(body)
+    assert all(not f.is_open for f in files)
+    assert files[0].handle.open_count == 0
+
+
+def test_barrier_synchronises_ranks(stack):
+    sim, layer = stack
+    arrivals = []
+    departures = []
+
+    def body(ctx):
+        yield ctx.sim.timeout(float(ctx.rank))
+        arrivals.append((ctx.rank, ctx.sim.now))
+        yield from ctx.barrier()
+        departures.append((ctx.rank, ctx.sim.now))
+
+    MPIJob(sim, layer, size=3).run(body)
+    assert [t for _, t in arrivals] == [0.0, 1.0, 2.0]
+    assert all(t == 2.0 for _, t in departures)
+
+
+def test_barrier_is_reusable(stack):
+    sim, layer = stack
+    log = []
+
+    def body(ctx):
+        for phase in range(3):
+            yield ctx.sim.timeout(0.5 * (ctx.rank + 1))
+            yield from ctx.barrier()
+            log.append((phase, ctx.rank, ctx.sim.now))
+
+    MPIJob(sim, layer, size=2).run(body)
+    by_phase = {}
+    for phase, _, t in log:
+        by_phase.setdefault(phase, set()).add(t)
+    assert all(len(times) == 1 for times in by_phase.values())
+
+
+def test_makespan_and_bandwidth(stack):
+    sim, layer = stack
+
+    def body(ctx):
+        f = yield from ctx.open("/shared", 8 * MiB)
+        yield from f.write_at(ctx.rank * MiB, MiB)
+
+    stats = MPIJob(sim, layer, size=4).run(body)
+    span = MPIJob.makespan(stats)
+    assert span > 0
+    bw = MPIJob.aggregate_bandwidth(stats)
+    assert bw == pytest.approx(4 * MiB / span)
+    assert MPIJob.aggregate_bandwidth(stats, op="read") == 0.0
+
+
+def test_rank_stats_io_accounting(stack):
+    sim, layer = stack
+
+    def body(ctx):
+        f = yield from ctx.open("/shared", MiB)
+        yield from f.write_at(0, 4 * KiB)
+        yield from f.read_at(0, 2 * KiB)
+
+    stats = MPIJob(sim, layer, size=1).run(body)
+    assert stats[0].bytes_written == 4 * KiB
+    assert stats[0].bytes_read == 2 * KiB
+    assert stats[0].io_time > 0
+
+
+def test_job_needs_ranks(stack):
+    sim, layer = stack
+    with pytest.raises(MPIIOError):
+        MPIJob(sim, layer, size=0)
+
+
+def test_barrier_needs_parties(stack):
+    sim, _ = stack
+    with pytest.raises(MPIIOError):
+        Barrier(sim, 0)

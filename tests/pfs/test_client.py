@@ -1,0 +1,188 @@
+"""Integration tests: client -> network -> server -> device."""
+
+import pytest
+
+from repro.devices import HDD, HDDSpec, SSD, SSDSpec
+from repro.network import Fabric, NetworkSpec
+from repro.pfs import PFS, FileServer, PFSClient, PFSSpec
+from repro.sim import Simulator
+from repro.sim.resources import PRIORITY_LOW
+from repro.units import GiB, KiB, MiB
+
+
+def build(num_servers=4, device="hdd", stripe=64 * KiB, seed=1):
+    sim = Simulator(seed=seed)
+    fabric = Fabric(sim, NetworkSpec())
+
+    def make_device(i):
+        if device == "hdd":
+            return HDD(HDDSpec(capacity_bytes=GiB, rotation_mode="expected"))
+        return SSD(SSDSpec(capacity_bytes=GiB))
+
+    servers = [
+        FileServer(sim, f"s{i}", make_device(i)) for i in range(num_servers)
+    ]
+    pfs = PFS(sim, "pfs", servers, PFSSpec(stripe_size=stripe))
+    client = PFSClient(sim, pfs, fabric, "client0")
+    return sim, pfs, client
+
+
+def test_write_then_read_returns_same_stamp():
+    sim, pfs, client = build()
+    handle = pfs.create("/f", 16 * MiB)
+
+    def body():
+        wres = yield from client.write(handle, 0, 256 * KiB)
+        rres = yield from client.read(handle, 0, 256 * KiB)
+        return wres, rres
+
+    wres, rres = sim.run_process(body())
+    assert wres.stamp is not None
+    assert rres.segments == [(0, 256 * KiB, wres.stamp)]
+
+
+def test_read_of_unwritten_data_reports_holes():
+    sim, pfs, client = build()
+    handle = pfs.create("/f", MiB)
+
+    def body():
+        return (yield from client.read(handle, 0, KiB))
+
+    res = sim.run_process(body())
+    assert res.segments == [(0, KiB, None)]
+
+
+def test_request_spans_expected_servers():
+    sim, pfs, client = build(num_servers=4)
+    handle = pfs.create("/f", 16 * MiB)
+
+    def body():
+        return (yield from client.write(handle, 0, 3 * 64 * KiB))
+
+    res = sim.run_process(body())
+    assert res.servers_touched == 3
+
+
+def test_write_updates_file_size():
+    sim, pfs, client = build()
+    handle = pfs.create("/f", 16 * MiB)
+
+    def body():
+        yield from client.write(handle, MiB, KiB)
+
+    sim.run_process(body())
+    assert handle.size == MiB + KiB
+
+
+def test_large_request_faster_striped_than_single_server():
+    """Parallelism: the same bytes on more servers finish sooner."""
+
+    def run(num_servers):
+        sim, pfs, client = build(num_servers=num_servers)
+        handle = pfs.create("/f", 64 * MiB)
+
+        def body():
+            res = yield from client.read(handle, 0, 16 * MiB)
+            return res.elapsed
+
+        return sim.run_process(body())
+
+    assert run(8) < run(1) / 2
+
+
+def test_small_random_reads_faster_on_ssd_pfs():
+    """Device asymmetry survives the full PFS stack."""
+
+    def run(device):
+        sim, pfs, client = build(num_servers=4, device=device, seed=3)
+        handle = pfs.create("/f", 256 * MiB)
+        rng = sim.rng.stream("offsets")
+        offsets = [
+            rng.randrange(0, 255 * MiB // (16 * KiB)) * 16 * KiB
+            for _ in range(50)
+        ]
+
+        def body():
+            start = sim.now
+            for off in offsets:
+                yield from client.read(handle, off, 16 * KiB)
+            return sim.now - start
+
+        return sim.run_process(body())
+
+    assert run("hdd") > 5 * run("ssd")
+
+
+def test_concurrent_clients_contend_on_servers():
+    sim, pfs, client_a = build(num_servers=1)
+    fabric = client_a.fabric
+    client_b = PFSClient(sim, pfs, fabric, "client1")
+    handle = pfs.create("/f", 64 * MiB)
+
+    def one_client(client, offset):
+        res = yield from client.write(handle, offset, 8 * MiB)
+        return res.elapsed
+
+    def solo():
+        return (yield from client_a.write(handle, 0, 8 * MiB))
+
+    solo_elapsed = sim.run_process(solo()).elapsed
+
+    def both():
+        procs = [
+            sim.spawn(one_client(client_a, 16 * MiB)),
+            sim.spawn(one_client(client_b, 32 * MiB)),
+        ]
+        return (yield sim.all_of(procs))
+
+    elapsed = sim.run_process(both())
+    # With one server, at least one of the two must take ~2x solo time.
+    assert max(elapsed) > 1.5 * solo_elapsed
+
+
+def test_low_priority_request_yields_to_normal():
+    sim, pfs, client = build(num_servers=1)
+    handle = pfs.create("/f", 64 * MiB)
+    finish_order = []
+
+    def low():
+        # Two back-to-back low-priority requests...
+        for _ in range(2):
+            yield from client.read(handle, 0, 4 * MiB, priority=PRIORITY_LOW)
+        finish_order.append("low")
+
+    def normal():
+        yield sim.timeout(1e-4)  # arrive while low's first request runs
+        yield from client.read(handle, 8 * MiB, 4 * MiB)
+        finish_order.append("normal")
+
+    def parent():
+        yield sim.all_of([sim.spawn(low()), sim.spawn(normal())])
+
+    sim.run_process(parent())
+    assert finish_order == ["normal", "low"]
+
+
+def test_zero_size_request_rejected():
+    sim, pfs, client = build()
+    handle = pfs.create("/f", MiB)
+
+    def body():
+        yield from client.read(handle, 0, 0)
+
+    sim.spawn(body())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_client_stats():
+    sim, pfs, client = build()
+    handle = pfs.create("/f", MiB)
+
+    def body():
+        yield from client.write(handle, 0, KiB)
+        yield from client.read(handle, 0, KiB)
+
+    sim.run_process(body())
+    assert client.requests_issued == 2
+    assert client.bytes_moved == 2 * KiB

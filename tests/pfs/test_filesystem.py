@@ -1,0 +1,107 @@
+"""Tests for the PFS namespace and space allocator."""
+
+import pytest
+
+from repro.devices import HDD, HDDSpec
+from repro.errors import ConfigError, FileExists, FileNotFound, PFSError
+from repro.pfs import PFS, FileServer, PFSSpec
+from repro.sim import Simulator
+from repro.units import GiB, KiB, MiB
+
+
+def make_pfs(num_servers=4, capacity=GiB, stripe=64 * KiB):
+    sim = Simulator(seed=1)
+    servers = [
+        FileServer(
+            sim,
+            f"ds{i}",
+            HDD(HDDSpec(capacity_bytes=capacity, rotation_mode="expected")),
+        )
+        for i in range(num_servers)
+    ]
+    return sim, PFS(sim, "opfs", servers, PFSSpec(stripe_size=stripe))
+
+
+def test_create_and_open():
+    _, pfs = make_pfs()
+    created = pfs.create("/data/a.dat", "16MB")
+    assert pfs.open("/data/a.dat") is created
+    assert pfs.exists("/data/a.dat")
+    assert pfs.files() == ["/data/a.dat"]
+
+
+def test_create_duplicate_rejected():
+    _, pfs = make_pfs()
+    pfs.create("/f", MiB)
+    with pytest.raises(FileExists):
+        pfs.create("/f", MiB)
+
+
+def test_open_missing_rejected():
+    _, pfs = make_pfs()
+    with pytest.raises(FileNotFound):
+        pfs.open("/nope")
+
+
+def test_open_or_create():
+    _, pfs = make_pfs()
+    a = pfs.open_or_create("/f", MiB)
+    b = pfs.open_or_create("/f", MiB)
+    assert a is b
+
+
+def test_delete():
+    _, pfs = make_pfs()
+    pfs.create("/f", MiB)
+    pfs.delete("/f")
+    assert not pfs.exists("/f")
+    with pytest.raises(FileNotFound):
+        pfs.delete("/f")
+
+
+def test_reservation_covers_hint():
+    _, pfs = make_pfs(num_servers=4, stripe=64 * KiB)
+    handle = pfs.create("/f", 16 * MiB)
+    # 256 stripes over 4 servers -> 64 stripes/server.
+    assert handle.reserved_local == 64 * 64 * KiB
+    assert handle.bases == [0, 0, 0, 0]
+
+
+def test_second_file_placed_after_first():
+    _, pfs = make_pfs()
+    first = pfs.create("/a", 16 * MiB)
+    second = pfs.create("/b", 16 * MiB)
+    assert all(
+        b2 == b1 + first.reserved_local
+        for b1, b2 in zip(first.bases, second.bases)
+    )
+
+
+def test_local_address_bounds_checked():
+    _, pfs = make_pfs()
+    handle = pfs.create("/f", MiB)
+    with pytest.raises(PFSError, match="size hint"):
+        handle.local_address(0, handle.reserved_local, 1)
+
+
+def test_out_of_space_rejected():
+    _, pfs = make_pfs(capacity=MiB)
+    with pytest.raises(PFSError, match="out of space"):
+        pfs.create("/huge", 100 * MiB)
+
+
+def test_bad_size_hint_rejected():
+    _, pfs = make_pfs()
+    with pytest.raises(PFSError):
+        pfs.create("/f", 0)
+
+
+def test_pfs_needs_servers():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        PFS(sim, "empty", [])
+
+
+def test_bad_stripe_rejected():
+    with pytest.raises(ConfigError):
+        PFSSpec(stripe_size=0)

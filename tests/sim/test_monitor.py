@@ -1,0 +1,76 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.monitor import Counter, IntervalLog, Tally, TimeWeighted
+
+
+def test_counter():
+    c = Counter("bytes")
+    c.add(100)
+    c.add(50)
+    assert c.count == 2
+    assert c.total == 150
+    assert c.mean == 75
+    assert Counter("empty").mean == 0.0
+
+
+def test_tally_statistics():
+    t = Tally()
+    for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        t.observe(v)
+    assert t.count == 8
+    assert t.mean == pytest.approx(5.0)
+    assert t.stdev == pytest.approx(2.138, rel=1e-3)
+    assert t.minimum == 2.0
+    assert t.maximum == 9.0
+
+
+def test_tally_empty_and_single():
+    t = Tally()
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+    t.observe(3.0)
+    assert t.mean == 3.0
+    assert t.variance == 0.0
+
+
+def test_time_weighted_average():
+    sim = Simulator()
+    tw = TimeWeighted(sim, initial=0.0)
+
+    def body():
+        tw.set(2.0)          # level 2 for [0, 4)
+        yield sim.timeout(4.0)
+        tw.set(6.0)          # level 6 for [4, 6)
+        yield sim.timeout(2.0)
+        return tw.average()
+
+    # (2*4 + 6*2) / 6
+    assert sim.run_process(body()) == pytest.approx(20.0 / 6.0)
+
+
+def test_time_weighted_add():
+    sim = Simulator()
+    tw = TimeWeighted(sim, initial=1.0)
+    tw.add(2.0)
+    assert tw.level == 3.0
+
+
+def test_interval_log_merges_overlaps():
+    log = IntervalLog()
+    log.record(0.0, 2.0)
+    log.record(1.0, 3.0)   # overlaps
+    log.record(5.0, 6.0)   # disjoint
+    assert log.busy_time() == pytest.approx(4.0)
+
+
+def test_interval_log_rejects_backwards():
+    log = IntervalLog()
+    with pytest.raises(ValueError):
+        log.record(2.0, 1.0)
+
+
+def test_interval_log_empty():
+    assert IntervalLog().busy_time() == 0.0

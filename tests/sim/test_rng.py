@@ -1,0 +1,36 @@
+"""Tests for deterministic named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_same_stream_object():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_deterministic_per_seed_and_name():
+    a1 = RandomStreams(1).stream("x").random()
+    a2 = RandomStreams(1).stream("x").random()
+    b = RandomStreams(2).stream("x").random()
+    c = RandomStreams(1).stream("y").random()
+    assert a1 == a2
+    assert a1 != b
+    assert a1 != c
+
+
+def test_creation_order_does_not_matter():
+    s1 = RandomStreams(7)
+    s1.stream("first")
+    v1 = s1.stream("second").random()
+    s2 = RandomStreams(7)
+    v2 = s2.stream("second").random()
+    assert v1 == v2
+
+
+def test_fork_is_independent_and_deterministic():
+    base = RandomStreams(3)
+    fork_a = base.fork("rank0")
+    fork_b = base.fork("rank1")
+    fork_a2 = RandomStreams(3).fork("rank0")
+    assert fork_a.stream("s").random() == fork_a2.stream("s").random()
+    assert fork_a2.stream("s").random() != fork_b.stream("s").random()

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_calibrate_prints_parameters(capsys):
+    assert main(["calibrate", "--dservers", "4", "--cservers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "beta_D" in out and "beta_C" in out
+    assert "crossover" in out
+
+
+def test_compare_runs_small_workload(capsys):
+    code = main([
+        "compare", "--processes", "2", "--requests-per-rank", "16",
+        "--dservers", "2", "--cservers", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stock MB/s" in out
+    assert "S4D routing" in out
+
+
+def test_replay_trace(tmp_path, capsys):
+    trace = tmp_path / "t.trace"
+    trace.write_text(
+        "0 write 0 16KB\n0 read 0 16KB\n1 write 16KB 16KB\n"
+    )
+    code = main([
+        "replay", str(trace), "--dservers", "2", "--cservers", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replaying 3 requests" in out
+
+
+def test_experiments_forwarding(capsys):
+    assert main(["experiments", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6a" in out
+    assert "table4" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

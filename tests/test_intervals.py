@@ -1,0 +1,155 @@
+"""Unit + property tests for the generic interval map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval, IntervalMap
+
+
+def test_empty_lookup_is_gap():
+    m = IntervalMap()
+    assert m.lookup(0, 10) == [(0, 10, None)]
+    assert not m.covered(0, 10)
+    assert not m.overlaps(0, 10)
+
+
+def test_set_and_exact_lookup():
+    m = IntervalMap()
+    m.set(10, 20, "a")
+    assert m.lookup(10, 20) == [(10, 20, "a")]
+    assert m.covered(10, 20)
+
+
+def test_lookup_tiles_gaps_and_values():
+    m = IntervalMap()
+    m.set(10, 20, "a")
+    m.set(30, 40, "b")
+    assert m.lookup(0, 50) == [
+        (0, 10, None),
+        (10, 20, "a"),
+        (20, 30, None),
+        (30, 40, "b"),
+        (40, 50, None),
+    ]
+
+
+def test_overwrite_splits_existing():
+    m = IntervalMap()
+    m.set(0, 100, "old")
+    m.set(40, 60, "new")
+    assert m.lookup(0, 100) == [
+        (0, 40, "old"),
+        (40, 60, "new"),
+        (60, 100, "old"),
+    ]
+    m.check_invariants()
+
+
+def test_overwrite_spanning_multiple():
+    m = IntervalMap()
+    m.set(0, 10, "a")
+    m.set(20, 30, "b")
+    m.set(40, 50, "c")
+    m.set(5, 45, "big")
+    assert m.lookup(0, 50) == [
+        (0, 5, "a"),
+        (5, 45, "big"),
+        (45, 50, "c"),
+    ]
+    m.check_invariants()
+
+
+def test_clear_range_returns_clipped_pieces():
+    m = IntervalMap()
+    m.set(0, 100, "x")
+    removed = m.clear_range(25, 75)
+    assert removed == [Interval(25, 75, "x")]
+    assert m.lookup(0, 100) == [
+        (0, 25, "x"),
+        (25, 75, None),
+        (75, 100, "x"),
+    ]
+
+
+def test_remove_exact():
+    m = IntervalMap()
+    m.set(5, 15, "v")
+    assert m.remove_exact(5, 15).value == "v"
+    with pytest.raises(KeyError):
+        m.remove_exact(5, 15)
+
+
+def test_remove_exact_wrong_bounds_rejected():
+    m = IntervalMap()
+    m.set(5, 15, "v")
+    with pytest.raises(KeyError):
+        m.remove_exact(5, 10)
+
+
+def test_value_at():
+    m = IntervalMap()
+    m.set(10, 20, "a")
+    assert m.value_at(10) == "a"
+    assert m.value_at(19) == "a"
+    assert m.value_at(20) is None
+    assert m.value_at(9) is None
+
+
+def test_total_bytes():
+    m = IntervalMap()
+    m.set(0, 10, "a")
+    m.set(20, 25, "b")
+    assert m.total_bytes == 15
+
+
+def test_bad_range_rejected():
+    m = IntervalMap()
+    with pytest.raises(ValueError):
+        m.set(10, 10, "empty")
+    with pytest.raises(ValueError):
+        m.set(-1, 5, "negative")
+
+
+# -- property tests against a byte-level reference model -------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "clear"]),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=40,
+)
+
+
+@given(_ops, st.integers(min_value=0, max_value=220),
+       st.integers(min_value=1, max_value=80))
+@settings(max_examples=200, deadline=None)
+def test_interval_map_matches_byte_model(ops, q_start, q_len):
+    m = IntervalMap()
+    model: dict[int, int] = {}
+    for kind, start, length, value in ops:
+        end = start + length
+        if kind == "set":
+            m.set(start, end, value)
+            for b in range(start, end):
+                model[b] = value
+        else:
+            m.clear_range(start, end)
+            for b in range(start, end):
+                model.pop(b, None)
+        m.check_invariants()
+
+    q_end = q_start + q_len
+    segments = m.lookup(q_start, q_end)
+    # Segments exactly tile the query.
+    assert segments[0][0] == q_start
+    assert segments[-1][1] == q_end
+    for (s1, e1, _), (s2, e2, _) in zip(segments, segments[1:]):
+        assert e1 == s2
+    # Every byte agrees with the model.
+    for seg_start, seg_end, value in segments:
+        for b in range(seg_start, seg_end):
+            assert model.get(b) == value

@@ -1,0 +1,60 @@
+"""Tests for unit parsing and formatting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bandwidth,
+    fmt_size,
+    fmt_time,
+    parse_size,
+)
+
+
+def test_parse_size_suffixes():
+    assert parse_size("16KB") == 16 * KiB
+    assert parse_size("16KiB") == 16 * KiB
+    assert parse_size("2MB") == 2 * MiB
+    assert parse_size("1.5MB") == int(1.5 * MiB)
+    assert parse_size("3GiB") == 3 * GiB
+    assert parse_size("100") == 100
+    assert parse_size("100B") == 100
+    assert parse_size("4 kb") == 4 * KiB  # case/space tolerant
+
+
+def test_parse_size_int_passthrough():
+    assert parse_size(4096) == 4096
+    with pytest.raises(ConfigError):
+        parse_size(-1)
+
+
+def test_parse_size_rejects_garbage():
+    for bad in ("", "KB", "12XB", "1.2.3MB", "-5MB"):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+
+def test_parse_size_rejects_fractional_bytes():
+    with pytest.raises(ConfigError):
+        parse_size("0.3B")
+
+
+def test_fmt_size():
+    assert fmt_size(512) == "512B"
+    assert fmt_size(16 * KiB) == "16.0KiB"
+    assert fmt_size(3 * MiB) == "3.0MiB"
+    assert fmt_size(2 * GiB) == "2.0GiB"
+
+
+def test_fmt_bandwidth():
+    assert fmt_bandwidth(50 * MiB) == "50.00MB/s"
+
+
+def test_fmt_time_ranges():
+    assert fmt_time(5e-9).endswith("ns")
+    assert fmt_time(5e-6).endswith("us")
+    assert fmt_time(5e-3).endswith("ms")
+    assert fmt_time(5.0).endswith("s")

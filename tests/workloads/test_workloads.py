@@ -1,0 +1,193 @@
+"""Tests for the workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.iosig import detect_signature
+from repro.units import KiB, MiB
+from repro.workloads import (
+    HPIOWorkload,
+    IORWorkload,
+    SyntheticMixWorkload,
+    TileIOWorkload,
+)
+
+
+# -- IOR ----------------------------------------------------------------
+
+def test_ior_sequential_offsets():
+    w = IORWorkload(4, 16 * KiB, MiB, pattern="sequential")
+    segs = w.segments_for_rank(1)
+    region = MiB // 4
+    assert segs[0] == (region, 16 * KiB)
+    assert detect_signature(segs) == "sequential"
+    assert len(segs) == region // (16 * KiB)
+
+
+def test_ior_random_is_permutation_of_sequential():
+    seq = IORWorkload(4, 16 * KiB, MiB, pattern="sequential", seed=5)
+    rnd = IORWorkload(4, 16 * KiB, MiB, pattern="random", seed=5)
+    for rank in range(4):
+        assert sorted(rnd.segments_for_rank(rank)) == seq.segments_for_rank(rank)
+        assert rnd.segments_for_rank(rank) != seq.segments_for_rank(rank)
+        assert detect_signature(rnd.segments_for_rank(rank)) == "random"
+
+
+def test_ior_random_deterministic_per_seed():
+    a = IORWorkload(4, 16 * KiB, MiB, pattern="random", seed=7)
+    b = IORWorkload(4, 16 * KiB, MiB, pattern="random", seed=7)
+    c = IORWorkload(4, 16 * KiB, MiB, pattern="random", seed=8)
+    assert a.segments_for_rank(2) == b.segments_for_rank(2)
+    assert a.segments_for_rank(2) != c.segments_for_rank(2)
+
+
+def test_ior_regions_disjoint_across_ranks():
+    w = IORWorkload(4, 16 * KiB, MiB, pattern="random")
+    seen = set()
+    for rank in range(4):
+        for off, size in w.segments_for_rank(rank):
+            assert (off, size) not in seen
+            seen.add((off, size))
+    assert w.data_bytes() == len(seen) * 16 * KiB
+
+
+def test_ior_validation():
+    with pytest.raises(WorkloadError):
+        IORWorkload(4, 16 * KiB, MiB, pattern="zigzag")
+    with pytest.raises(WorkloadError):
+        IORWorkload(0, 16 * KiB, MiB)
+    with pytest.raises(WorkloadError):
+        IORWorkload(64, MiB, MiB)  # region smaller than one request
+    with pytest.raises(WorkloadError):
+        IORWorkload(4, 16 * KiB, MiB).segments_for_rank(9)
+
+
+# -- HPIO ----------------------------------------------------------------
+
+def test_hpio_zero_spacing_is_sequential():
+    w = HPIOWorkload(2, region_count=16, region_size=8 * KiB, region_spacing=0)
+    assert detect_signature(w.segments_for_rank(0)) == "sequential"
+
+
+def test_hpio_spacing_creates_stride():
+    w = HPIOWorkload(2, region_count=16, region_size=8 * KiB,
+                     region_spacing=2 * KiB)
+    sig = detect_signature(w.segments_for_rank(0))
+    assert sig == f"strided({2 * KiB})"
+
+
+def test_hpio_ranks_disjoint():
+    w = HPIOWorkload(3, region_count=8, region_size=8 * KiB,
+                     region_spacing=1 * KiB)
+    ranges = []
+    for rank in range(3):
+        for off, size in w.segments_for_rank(rank):
+            ranges.append((off, off + size))
+    ranges.sort()
+    for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+        assert e1 <= s2
+
+
+def test_hpio_data_bytes():
+    w = HPIOWorkload(2, region_count=10, region_size=8 * KiB, region_spacing=0)
+    assert w.data_bytes() == 2 * 10 * 8 * KiB
+
+
+# -- MPI-Tile-IO -----------------------------------------------------------
+
+def test_tileio_grid_factorisation():
+    assert TileIOWorkload(100).tiles_x == 10
+    assert TileIOWorkload(200).tiles_x * TileIOWorkload(200).tiles_y == 200
+    assert TileIOWorkload(7).tiles_x == 1
+
+
+def test_tileio_rows_are_nested_strided():
+    w = TileIOWorkload(4, elements_x=4, elements_y=4, element_size=KiB)
+    segs = w.segments_for_rank(0)
+    assert len(segs) == 4
+    # Constant stride between rows.
+    gaps = {
+        b[0] - (a[0] + a[1]) for a, b in zip(segs, segs[1:])
+    }
+    assert len(gaps) == 1
+    sig = detect_signature(segs)
+    assert sig.startswith("strided")
+
+
+def test_tileio_tiles_exactly_tile_the_dataset():
+    w = TileIOWorkload(4, elements_x=2, elements_y=2, element_size=KiB)
+    covered = set()
+    for rank in range(4):
+        for off, size in w.segments_for_rank(rank):
+            for b in range(off, off + size, KiB):
+                assert b not in covered
+                covered.add(b)
+    assert len(covered) == 4 * 2 * 2  # all tiles, all elements
+
+
+def test_tileio_validation():
+    with pytest.raises(WorkloadError):
+        TileIOWorkload(4, elements_x=0)
+
+
+# -- synthetic mix -----------------------------------------------------------
+
+def test_mix_random_fraction():
+    w = SyntheticMixWorkload(10, 10 * MiB, random_fraction=0.3)
+    assert sum(w.is_random_rank(r) for r in range(10)) == 3
+    assert detect_signature(w.segments_for_rank(9)) == "sequential"
+    assert detect_signature(w.segments_for_rank(0)) == "random"
+
+
+def test_mix_request_sizes_differ():
+    w = SyntheticMixWorkload(
+        2, 8 * MiB, random_fraction=0.5,
+        sequential_request="1MB", random_request="16KB",
+    )
+    assert w.segments_for_rank(0)[0][1] == 16 * KiB
+    assert w.segments_for_rank(1)[0][1] == MiB
+
+
+def test_mix_validation():
+    with pytest.raises(WorkloadError):
+        SyntheticMixWorkload(2, MiB, random_fraction=1.5)
+
+
+# -- base-class behaviours ----------------------------------------------
+
+def test_size_hint_covers_all_segments():
+    for w in (
+        IORWorkload(4, 16 * KiB, MiB),
+        HPIOWorkload(2, 8, 8 * KiB, KiB),
+        TileIOWorkload(4, 3, 3, KiB),
+    ):
+        hint = w.size_hint()
+        for rank in range(w.processes):
+            for off, size in w.segments_for_rank(rank):
+                assert off + size <= hint
+
+
+def test_make_body_rejects_bad_op():
+    with pytest.raises(WorkloadError):
+        IORWorkload(2, 16 * KiB, MiB).make_body("append")
+
+
+@given(
+    processes=st.integers(min_value=1, max_value=8),
+    blocks=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_ior_property_random_covers_region(processes, blocks, seed):
+    req = 4 * KiB
+    w = IORWorkload(
+        processes, req, processes * blocks * req, pattern="random", seed=seed
+    )
+    for rank in range(processes):
+        segs = w.segments_for_rank(rank)
+        assert len(segs) == blocks
+        offs = sorted(o for o, _ in segs)
+        base = rank * blocks * req
+        assert offs == [base + i * req for i in range(blocks)]

@@ -1,0 +1,56 @@
+"""Tests for the Zipf hotspot workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import KiB, MiB
+from repro.workloads import ZipfWorkload
+
+
+def test_zipf_skew_concentrates_accesses():
+    flat = ZipfWorkload(2, 16 * KiB, 8 * MiB, requests_per_rank=400,
+                        skew=0.0, seed=3)
+    skewed = ZipfWorkload(2, 16 * KiB, 8 * MiB, requests_per_rank=400,
+                          skew=1.4, seed=3)
+    # Higher skew -> smaller working set for the same request count.
+    assert skewed.unique_blocks(0) < flat.unique_blocks(0)
+
+
+def test_zipf_requests_within_rank_region():
+    w = ZipfWorkload(4, 16 * KiB, 8 * MiB, requests_per_rank=100, seed=5)
+    region = 8 * MiB // 4
+    for rank in range(4):
+        for offset, size in w.segments_for_rank(rank):
+            assert rank * region <= offset < (rank + 1) * region
+            assert size == 16 * KiB
+
+
+def test_zipf_deterministic_per_seed():
+    a = ZipfWorkload(2, 16 * KiB, 4 * MiB, seed=7)
+    b = ZipfWorkload(2, 16 * KiB, 4 * MiB, seed=7)
+    c = ZipfWorkload(2, 16 * KiB, 4 * MiB, seed=8)
+    assert a.segments_for_rank(1) == b.segments_for_rank(1)
+    assert a.segments_for_rank(1) != c.segments_for_rank(1)
+
+
+def test_zipf_validation():
+    with pytest.raises(WorkloadError):
+        ZipfWorkload(2, 16 * KiB, 4 * MiB, requests_per_rank=0)
+    with pytest.raises(WorkloadError):
+        ZipfWorkload(2, 16 * KiB, 4 * MiB, skew=-1)
+    with pytest.raises(WorkloadError):
+        ZipfWorkload(64, 16 * MiB, 4 * MiB)
+
+
+def test_zipf_cache_benefits_from_reuse():
+    """With a hot working set that fits, S4D read hits accumulate."""
+    from repro.cluster import ClusterSpec, run_workload
+
+    spec = ClusterSpec(num_dservers=2, num_cservers=2, num_nodes=2, seed=9)
+    w = ZipfWorkload(2, 16 * KiB, 256 * MiB, requests_per_rank=150,
+                     skew=1.3, seed=11)
+    result = run_workload(spec, w, s4d=True, phases=("write",))
+    metrics = result.metrics
+    # Re-written hot blocks hit the cache mapping instead of
+    # re-allocating (write hits), unlike IOR's one-touch streams.
+    assert metrics.write_hits > 0

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro compare --workload ior --pattern random \\
         --request-size 16KB --processes 8
+    python -m repro trace --workload ior --out trace.json
     python -m repro calibrate
     python -m repro replay mytrace.txt
     python -m repro experiments --only fig6a   # forwards
@@ -19,6 +20,19 @@ import argparse
 import sys
 
 from .units import MiB, fmt_size
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="ior",
+                        choices=["ior", "hpio", "tileio", "mix"])
+    parser.add_argument("--processes", type=int, default=8)
+    parser.add_argument("--request-size", default="16KB")
+    parser.add_argument("--file-size", default="2GB")
+    parser.add_argument("--pattern", default="random",
+                        choices=["sequential", "random"])
+    parser.add_argument("--requests-per-rank", type=int, default=128)
+    parser.add_argument("--spacing", default="4KB",
+                        help="HPIO region spacing")
 
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
@@ -89,6 +103,9 @@ def _print_comparison(stock, s4d) -> None:
           f"admitted {metrics.write_admitted}, "
           f"bounced {metrics.write_bounced}, "
           f"hits {metrics.read_hits + metrics.write_hits}")
+    print(f"cache ratios: read hits {metrics.read_hit_ratio:.1%}, "
+          f"write hits {metrics.write_hit_ratio:.1%}, "
+          f"admission {metrics.admission_ratio:.1%}")
 
 
 def cmd_compare(args) -> int:
@@ -102,6 +119,46 @@ def cmd_compare(args) -> int:
     print("running S4D-Cache ...")
     s4d = run_workload(spec, workload, s4d=True)
     _print_comparison(stock, s4d)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .cluster import run_workload
+    from .obs import (
+        Tracer,
+        registry_for_cluster,
+        render_breakdown,
+        write_chrome,
+        write_jsonl,
+    )
+
+    workload = _build_workload(args)
+    spec = _spec_from(args, workload.processes)
+    tracer = Tracer()
+    system = "stock" if args.stock else "S4D-Cache"
+    print(f"workload: {workload!r}")
+    print(f"tracing {system} ...")
+    result = run_workload(
+        spec, workload, s4d=not args.stock, obs=tracer,
+        read_runs=args.read_runs,
+    )
+    write_chrome(tracer, args.out)
+    stats = tracer.stats()
+    print(f"chrome trace: {args.out} "
+          f"({stats.spans} spans, {stats.events} instants)")
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"span log: {args.jsonl}")
+    if args.metrics:
+        registry = registry_for_cluster(result.cluster, tracer=tracer)
+        registry.write_json(args.metrics)
+        print(f"metrics snapshot: {args.metrics}")
+    print()
+    print(render_breakdown(tracer))
+    print()
+    print(f"tracer overhead: {stats.overhead_wall_seconds * 1e3:.1f}ms wall "
+          f"({stats.records_per_wall_second:,.0f} records/s), "
+          f"{stats.open_spans} spans left open")
     return 0
 
 
@@ -156,18 +213,26 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare", help="stock vs S4D on a workload")
-    compare.add_argument("--workload", default="ior",
-                         choices=["ior", "hpio", "tileio", "mix"])
-    compare.add_argument("--processes", type=int, default=8)
-    compare.add_argument("--request-size", default="16KB")
-    compare.add_argument("--file-size", default="2GB")
-    compare.add_argument("--pattern", default="random",
-                         choices=["sequential", "random"])
-    compare.add_argument("--requests-per-rank", type=int, default=128)
-    compare.add_argument("--spacing", default="4KB",
-                         help="HPIO region spacing")
+    _add_workload_args(compare)
     _add_cluster_args(compare)
     compare.set_defaults(func=cmd_compare)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced workload, export a Perfetto-loadable trace",
+    )
+    _add_workload_args(trace)
+    _add_cluster_args(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event output file")
+    trace.add_argument("--jsonl", default=None,
+                       help="also dump raw spans as JSON lines")
+    trace.add_argument("--metrics", default=None,
+                       help="also dump a unified metrics snapshot (JSON)")
+    trace.add_argument("--stock", action="store_true",
+                       help="trace the stock system instead of S4D-Cache")
+    trace.add_argument("--read-runs", type=int, default=2)
+    trace.set_defaults(func=cmd_trace)
 
     calibrate = sub.add_parser(
         "calibrate", help="profile the stack, print cost-model parameters"

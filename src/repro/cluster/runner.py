@@ -84,6 +84,7 @@ def run_workload(
     read_runs: int = 2,
     drain_between: bool = True,
     cluster: Cluster | None = None,
+    obs=None,
 ) -> RunResult:
     """Execute a workload campaign; returns bandwidths and metrics.
 
@@ -91,6 +92,10 @@ def run_workload(
     ``phases`` is an ordered subset of ("write", "read"); the read
     phase runs ``read_runs`` times and each run is recorded as
     ``read1``, ``read2``, ...
+
+    ``obs`` is an optional :class:`repro.obs.Tracer`; when given it is
+    bound to the cluster before the first phase so every request is
+    traced end to end.
     """
     instances = list(workload) if isinstance(workload, (list, tuple)) else [workload]
     if not instances:
@@ -108,6 +113,8 @@ def run_workload(
 
     tracer = Tracer()
     cluster.layer.tracer = tracer
+    if obs is not None:
+        obs.bind(cluster)
 
     results: dict[str, PhaseResult] = {}
     for phase in phases:

@@ -166,7 +166,7 @@ class CARLPlacementLayer(IOLayer):
         yield from self.direct.close(rank, handle)
 
     def io(self, rank: int, handle: FileHandle, op: str, offset: int,
-           size: int, priority: int = PRIORITY_NORMAL):
+           size: int, priority: int = PRIORITY_NORMAL, ctx=None):
         yield self.sim.timeout(self.lookup_overhead)
         index = self._placement.get(handle.path)
         segments = (
@@ -185,6 +185,7 @@ class CARLPlacementLayer(IOLayer):
                     self._segment_flow(
                         rank, op, seg_start, seg_end - seg_start,
                         bool(placed), d_handle, s_handle, stamp, priority,
+                        ctx,
                     ),
                     name=f"carl:{op}",
                 )
@@ -219,7 +220,7 @@ class CARLPlacementLayer(IOLayer):
         return result
 
     def _segment_flow(self, rank, op, seg_offset, seg_size, placed,
-                      d_handle, s_handle, stamp, priority):
+                      d_handle, s_handle, stamp, priority, ctx=None):
         if placed:
             client = self._cpfs_clients[rank % self.direct.num_nodes]
             target = s_handle
@@ -230,10 +231,10 @@ class CARLPlacementLayer(IOLayer):
             self.requests_to_hdd += 1
         if op == OP_WRITE:
             result = yield from client.write(
-                target, seg_offset, seg_size, priority, stamp=stamp
+                target, seg_offset, seg_size, priority, stamp=stamp, ctx=ctx
             )
         else:
             result = yield from client.read(
-                target, seg_offset, seg_size, priority
+                target, seg_offset, seg_size, priority, ctx=ctx
             )
         return result

@@ -127,13 +127,13 @@ class MemoryCacheLayer(IOLayer):
         yield from self.under.finalize()
 
     def io(self, rank: int, handle: FileHandle, op: str, offset: int,
-           size: int, priority: int = PRIORITY_NORMAL):
+           size: int, priority: int = PRIORITY_NORMAL, ctx=None):
         if op == OP_WRITE:
             result = yield from self._write(rank, handle, offset, size,
-                                            priority)
+                                            priority, ctx)
         else:
             result = yield from self._read(rank, handle, offset, size,
-                                           priority)
+                                           priority, ctx)
         return result
 
     def _block_span(self, offset: int, size: int):
@@ -141,10 +141,10 @@ class MemoryCacheLayer(IOLayer):
         last = (offset + size - 1) // self.block_size
         return first, last
 
-    def _write(self, rank, handle, offset, size, priority):
+    def _write(self, rank, handle, offset, size, priority, ctx=None):
         """Write-through: forward, then invalidate covered blocks."""
         result = yield from self.under.io(
-            rank, handle, OP_WRITE, offset, size, priority
+            rank, handle, OP_WRITE, offset, size, priority, ctx=ctx
         )
         cache = self._cache_for(rank)
         first, last = self._block_span(offset, size)
@@ -152,7 +152,7 @@ class MemoryCacheLayer(IOLayer):
             cache.invalidate((handle.path, block))
         return result
 
-    def _read(self, rank, handle, offset, size, priority):
+    def _read(self, rank, handle, offset, size, priority, ctx=None):
         """Serve whole-block hits from RAM; fill on miss."""
         cache = self._cache_for(rank)
         first, last = self._block_span(offset, size)
@@ -176,7 +176,7 @@ class MemoryCacheLayer(IOLayer):
         span_offset = first * self.block_size
         span_size = (last - first + 1) * self.block_size
         result = yield from self.under.io(
-            rank, handle, OP_READ, span_offset, span_size, priority
+            rank, handle, OP_READ, span_offset, span_size, priority, ctx=ctx
         )
         for block in range(first, last + 1):
             block_start = block * self.block_size

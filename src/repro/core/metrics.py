@@ -58,3 +58,29 @@ class CacheMetrics:
             100.0 * self.bytes_to_dservers / total,
             100.0 * self.bytes_to_cservers / total,
         )
+
+    @property
+    def read_hit_ratio(self) -> float:
+        """Fraction of read segments served from the cache (0.0 empty)."""
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+    @property
+    def write_hit_ratio(self) -> float:
+        """Fraction of write segments landing on existing extents."""
+        total = self.write_hits + self.write_admitted + self.write_bounced
+        return self.write_hits / total if total else 0.0
+
+    @property
+    def admission_ratio(self) -> float:
+        """Fraction of critical write misses that found cache space."""
+        total = self.write_admitted + self.write_bounced
+        return self.write_admitted / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """All counters plus derived ratios, export-friendly."""
+        data = dataclasses.asdict(self)
+        data["read_hit_ratio"] = self.read_hit_ratio
+        data["write_hit_ratio"] = self.write_hit_ratio
+        data["admission_ratio"] = self.admission_ratio
+        return data

@@ -29,6 +29,7 @@ from ..devices.base import OP_WRITE
 from ..errors import CacheError
 from ..kvstore import HashDB, LockManager
 from ..mpiio.api import DirectIO, FileHandle, IOLayer
+from ..obs import NULL_CONTEXT
 from ..pfs import PFS, IOResult, PFSClient
 from ..pfs.content import next_stamp
 from ..sim.resources import PRIORITY_NORMAL
@@ -170,20 +171,28 @@ class S4DCacheMiddleware(IOLayer):
 
     # -- IOLayer: read/write --------------------------------------------------
     def io(self, rank: int, handle: FileHandle, op: str, offset: int, size: int,
-           priority: int = PRIORITY_NORMAL):
+           priority: int = PRIORITY_NORMAL, ctx=None):
         """§IV.B MPI_File_read / MPI_File_write."""
+        if ctx is None:
+            ctx = NULL_CONTEXT
         start = self.sim.now
         # Identifier + Redirector bookkeeping costs (measured by Fig. 11).
+        id_span = ctx.begin("benefit_eval", cat="middleware",
+                            component="app", op=op)
         yield self.sim.timeout(self.lookup_overhead)
         benefit, cdt_entry = self.identifier.observe(
             rank, handle.path, op, offset, size
         )
+        ctx.end(id_span, benefit=benefit, critical=cdt_entry is not None)
         # Metadata decisions are serialised per file (§III.D's DMT
         # lock) — or per (file, offset-shard) when distributed
         # metadata is enabled.
+        wait_span = ctx.begin("metadata_wait", cat="middleware",
+                              component="app")
         token = yield self.locks.acquire(
             self._lock_key(handle.path, offset), owner=f"rank{rank}"
         )
+        ctx.end(wait_span)
         try:
             plan = self.redirector.route(
                 op,
@@ -192,18 +201,23 @@ class S4DCacheMiddleware(IOLayer):
                 offset,
                 size,
                 cdt_entry,
+                ctx=ctx,
             )
             if plan.metadata_mutations:
                 # Synchronous DMT persistence (§III.D).
+                sync_span = ctx.begin("metadata_sync", cat="middleware",
+                                      component="app",
+                                      mutations=plan.metadata_mutations)
                 yield self.sim.timeout(
                     plan.metadata_mutations * self.metadata_sync_cost
                 )
+                ctx.end(sync_span)
         finally:
             self.locks.release(token)
 
         try:
             result = yield from self._execute(rank, handle, plan, offset,
-                                              size, priority, start)
+                                              size, priority, start, ctx)
         finally:
             plan.release()
         if self.tracer is not None:
@@ -227,21 +241,28 @@ class S4DCacheMiddleware(IOLayer):
             )
         return result
 
-    def _execute(self, rank, handle, plan, offset, size, priority, start):
+    def _execute(self, rank, handle, plan, offset, size, priority, start,
+                 ctx=NULL_CONTEXT):
         """Issue the planned segments in parallel and merge results."""
         d_handle = self.direct.pfs.open(handle.path)
         c_handle = self.cpfs.open(self.cache_path(handle.path))
         stamp = next_stamp() if plan.op == OP_WRITE else None
 
+        exec_span = ctx.begin("execute", cat="middleware", component="app",
+                              steps=len(plan.steps))
+        exec_ctx = ctx.under(exec_span)
         flows = [
             self.sim.spawn(
                 self._step_flow(rank, d_handle, c_handle, plan.op, step,
-                                stamp, priority),
+                                stamp, priority, exec_ctx),
                 name=f"s4d:{plan.op}:{step.target}",
             )
             for step in plan.steps
         ]
-        step_results = yield self.sim.all_of(flows)
+        try:
+            step_results = yield self.sim.all_of(flows)
+        finally:
+            ctx.end(exec_span)
 
         result = IOResult(
             op=plan.op,
@@ -262,28 +283,36 @@ class S4DCacheMiddleware(IOLayer):
         return result
 
     def _step_flow(self, rank, d_handle, c_handle, op, step: RouteStep,
-                   stamp, priority):
+                   stamp, priority, ctx=NULL_CONTEXT):
         """One segment's I/O on its target file system."""
-        if step.target == TO_CSERVERS:
-            client = self.cpfs_client_for(rank)
-            if op == OP_WRITE:
-                result = yield from client.write(
-                    c_handle, step.c_offset, step.size, priority, stamp=stamp
-                )
+        span = ctx.begin(f"segment:{step.target}", cat="middleware",
+                         component="app", size=step.size)
+        ctx = ctx.under(span)
+        try:
+            if step.target == TO_CSERVERS:
+                client = self.cpfs_client_for(rank)
+                if op == OP_WRITE:
+                    result = yield from client.write(
+                        c_handle, step.c_offset, step.size, priority,
+                        stamp=stamp, ctx=ctx
+                    )
+                else:
+                    result = yield from client.read(
+                        c_handle, step.c_offset, step.size, priority, ctx=ctx
+                    )
             else:
-                result = yield from client.read(
-                    c_handle, step.c_offset, step.size, priority
-                )
-        else:
-            client = self.direct.client_for(rank)
-            if op == OP_WRITE:
-                result = yield from client.write(
-                    d_handle, step.d_offset, step.size, priority, stamp=stamp
-                )
-            else:
-                result = yield from client.read(
-                    d_handle, step.d_offset, step.size, priority
-                )
+                client = self.direct.client_for(rank)
+                if op == OP_WRITE:
+                    result = yield from client.write(
+                        d_handle, step.d_offset, step.size, priority,
+                        stamp=stamp, ctx=ctx
+                    )
+                else:
+                    result = yield from client.read(
+                        d_handle, step.d_offset, step.size, priority, ctx=ctx
+                    )
+        finally:
+            ctx.end(span)
         return result
 
     @staticmethod

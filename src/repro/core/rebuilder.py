@@ -22,6 +22,7 @@ from __future__ import annotations
 import typing
 
 from ..errors import ProcessKilled
+from ..obs import NULL_TRACER
 from ..pfs import PFSClient, PFSFile
 from ..sim.resources import PRIORITY_LOW
 from .metrics import CacheMetrics
@@ -77,6 +78,8 @@ class Rebuilder:
         self.cycles = 0
         self._proc = None
         self._active_batch: list = []
+        #: Observability tracer (replaced by Tracer.bind).
+        self.obs = NULL_TRACER
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> None:
@@ -185,12 +188,21 @@ class Rebuilder:
     def _flush_extent(self, extent: DMTExtent):
         d_handle, c_handle = self.resolve(extent.d_file)
         epoch = extent.dirty_epoch
-        yield from self.cpfs_client.read(
-            c_handle, extent.c_offset, extent.length, priority=PRIORITY_LOW
+        ctx = self.obs.request(
+            -1, "flush", extent.d_file, extent.d_offset, extent.length,
+            name="rebuild_flush", component="rebuilder", cat="rebuilder",
         )
-        yield from self.opfs_client.write(
-            d_handle, extent.d_offset, extent.length, priority=PRIORITY_LOW
-        )
+        try:
+            yield from self.cpfs_client.read(
+                c_handle, extent.c_offset, extent.length,
+                priority=PRIORITY_LOW, ctx=ctx,
+            )
+            yield from self.opfs_client.write(
+                d_handle, extent.d_offset, extent.length,
+                priority=PRIORITY_LOW, ctx=ctx,
+            )
+        finally:
+            ctx.finish()
         # The timed write minted a placeholder stamp; the authoritative
         # bytes are the cache extent's, captured *after* the I/O so a
         # foreground write racing the flush is not lost.
@@ -254,13 +266,18 @@ class Rebuilder:
             if allocation is None:
                 complete = False  # nothing cheap enough to displace
                 continue
+            ctx = self.obs.request(
+                -1, "fetch", entry.d_file, seg_start, seg_size,
+                name="lazy_fetch", component="rebuilder", cat="rebuilder",
+            )
             try:
                 yield from self.opfs_client.read(
-                    d_handle, seg_start, seg_size, priority=PRIORITY_LOW
+                    d_handle, seg_start, seg_size, priority=PRIORITY_LOW,
+                    ctx=ctx,
                 )
                 yield from self.cpfs_client.write(
                     c_handle, allocation.c_offset, seg_size,
-                    priority=PRIORITY_LOW,
+                    priority=PRIORITY_LOW, ctx=ctx,
                 )
             except ProcessKilled:
                 # Killed mid-movement (finalize/recovery): hand the

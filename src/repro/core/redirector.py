@@ -28,6 +28,7 @@ import dataclasses
 
 from ..devices.base import OP_READ, OP_WRITE
 from ..errors import CacheError
+from ..obs import NULL_CONTEXT
 from .metrics import CacheMetrics
 from .space import CacheSpace
 from .tables import CDT, CDTEntry, DMT, DMTExtent
@@ -109,10 +110,14 @@ class Redirector:
         offset: int,
         size: int,
         cdt_entry: CDTEntry | None,
+        ctx=None,
     ) -> RoutePlan:
         """Decide routing for one request; mutates DMT/CDT/space."""
         if op not in (OP_READ, OP_WRITE):
             raise CacheError(f"unknown op {op!r}")
+        if ctx is None:
+            ctx = NULL_CONTEXT
+        span = ctx.begin("route", cat="middleware", component="app", op=op)
         plan = RoutePlan(op=op, d_file=d_file, steps=[])
         segments = self.dmt.lookup(d_file, offset, size)
         # Hit segments are resolved BEFORE miss segments: a write
@@ -148,6 +153,14 @@ class Redirector:
         # Restore request order for readability of plans/results.
         plan.steps.sort(key=lambda s: s.d_offset)
         self._account(plan, size)
+        ctx.end(
+            span,
+            steps=len(plan.steps),
+            cserver_bytes=sum(
+                s.size for s in plan.steps if s.target == TO_CSERVERS
+            ),
+            metadata_mutations=plan.metadata_mutations,
+        )
         return plan
 
     # -- the three outcomes ------------------------------------------------

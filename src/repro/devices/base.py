@@ -65,6 +65,16 @@ class StorageDevice(abc.ABC):
         self.total_bytes = 0
         self.total_busy_time = 0.0
 
+    def telemetry(self) -> dict:
+        """Registry hook: lifetime counters of this device."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "requests": self.total_requests,
+            "bytes": self.total_bytes,
+            "busy_time": self.total_busy_time,
+        }
+
     def _validate(self, op: str, offset: int, size: int) -> None:
         if op not in _VALID_OPS:
             raise DeviceError(f"unknown device op {op!r}")

@@ -76,6 +76,8 @@ class ExperimentResult:
             lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
         for name, table in self.extras.items():
             lines.append(f"-- {name} --")
+            if hasattr(table, "as_dict"):
+                table = table.as_dict()
             lines.append(str(table))
         for note in self.notes:
             lines.append(f"note: {note}")

@@ -34,6 +34,7 @@ class Table3Distribution(Experiment):
         window_rows = {}
         whole_rows = {}
         dserver_randomness = {}
+        cache_rows = {}
         for request in self.SIZES:
             instances = ior_campaign(
                 self.PROCESSES, request,
@@ -54,6 +55,7 @@ class Table3Distribution(Experiment):
             whole_rows[request] = request_distribution(records)
             to_d = [r for r in window if r.target == "dservers"]
             dserver_randomness[request] = randomness_ratio(to_d)
+            cache_rows[request] = result.metrics
 
         sizes_kb = [s // KiB for s in self.SIZES]
         return ExperimentResult(
@@ -79,6 +81,10 @@ class Table3Distribution(Experiment):
                 },
                 "DServer-stream randomness in window": {
                     f"{s // KiB}KB": round(dserver_randomness[s], 3)
+                    for s in self.SIZES
+                },
+                **{
+                    f"cache counters {s // KiB}KB": cache_rows[s]
                     for s in self.SIZES
                 },
             },

@@ -19,10 +19,12 @@ import typing
 from ..devices.base import OP_READ, OP_WRITE
 from ..errors import MPIIOError
 from ..network import Fabric
+from ..obs import NULL_TRACER
 from ..pfs import PFS, IOResult, PFSClient
 from ..sim.resources import PRIORITY_NORMAL
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..obs import TraceContext
     from ..sim import Simulator
 
 
@@ -45,7 +47,16 @@ class IOLayer(abc.ABC):
     All methods are simulated-process generators (use ``yield from``).
     ``rank`` identifies the calling process; layers may use it to look
     up the rank's compute node / network endpoint.
+
+    ``ctx`` on :meth:`io` is the request's observability context
+    (:class:`~repro.obs.TraceContext`); layers thread it down the
+    stack and open spans on it.  It defaults to None (no tracing) and
+    the class-level ``obs`` tracer hands out contexts — the disabled
+    default is the zero-cost :data:`~repro.obs.NULL_TRACER`.
     """
+
+    #: The attached tracer; :meth:`repro.obs.Tracer.bind` replaces it.
+    obs = NULL_TRACER
 
     @abc.abstractmethod
     def open(self, rank: int, path: str, size_hint: int):
@@ -53,7 +64,8 @@ class IOLayer(abc.ABC):
 
     @abc.abstractmethod
     def io(self, rank: int, handle: FileHandle, op: str, offset: int, size: int,
-           priority: int = PRIORITY_NORMAL):
+           priority: int = PRIORITY_NORMAL,
+           ctx: "TraceContext | None" = None):
         """Perform one read/write; returns an :class:`IOResult`."""
 
     @abc.abstractmethod
@@ -117,13 +129,16 @@ class DirectIO(IOLayer):
         yield  # pragma: no cover - open is instantaneous in DirectIO
 
     def io(self, rank: int, handle: FileHandle, op: str, offset: int, size: int,
-           priority: int = PRIORITY_NORMAL):
+           priority: int = PRIORITY_NORMAL,
+           ctx: "TraceContext | None" = None):
         client = self.client_for(rank)
         pfs_file = self.pfs.open(handle.path)
         if op == OP_READ:
-            result = yield from client.read(pfs_file, offset, size, priority)
+            result = yield from client.read(pfs_file, offset, size, priority,
+                                            ctx=ctx)
         elif op == OP_WRITE:
-            result = yield from client.write(pfs_file, offset, size, priority)
+            result = yield from client.write(pfs_file, offset, size, priority,
+                                             ctx=ctx)
         else:
             raise MPIIOError(f"unknown op {op!r}")
         if self.tracer is not None:
@@ -191,18 +206,30 @@ class MPIFile:
     def read_at(self, offset: int, size: int):
         """MPI_File_read_at: explicit offset, pointer unchanged."""
         self._check_open()
-        result = yield from self.layer.io(
-            self.rank, self.handle, OP_READ, offset, size
+        ctx = self.layer.obs.request(
+            self.rank, OP_READ, self.handle.path, offset, size
         )
+        try:
+            result = yield from self.layer.io(
+                self.rank, self.handle, OP_READ, offset, size, ctx=ctx
+            )
+        finally:
+            ctx.finish()
         self.results.append(result)
         return result
 
     def write_at(self, offset: int, size: int):
         """MPI_File_write_at: explicit offset, pointer unchanged."""
         self._check_open()
-        result = yield from self.layer.io(
-            self.rank, self.handle, OP_WRITE, offset, size
+        ctx = self.layer.obs.request(
+            self.rank, OP_WRITE, self.handle.path, offset, size
         )
+        try:
+            result = yield from self.layer.io(
+                self.rank, self.handle, OP_WRITE, offset, size, ctx=ctx
+            )
+        finally:
+            ctx.finish()
         self.results.append(result)
         return result
 

@@ -6,11 +6,13 @@ import dataclasses
 import typing
 
 from ..errors import ConfigError, NetworkError
+from ..obs import NULL_CONTEXT
 from ..sim.resources import PRIORITY_NORMAL
 from ..units import MiB
 from .link import Link
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..obs import TraceContext
     from ..sim import Simulator
 
 
@@ -72,6 +74,7 @@ class Fabric:
         dst: str,
         size: int,
         priority: int = PRIORITY_NORMAL,
+        ctx: "TraceContext | None" = None,
     ):
         """Process generator moving ``size`` payload bytes src -> dst.
 
@@ -81,19 +84,28 @@ class Fabric:
         if src == dst:
             # Local loopback: no NIC involvement, negligible time.
             return self.sim.now
+        if ctx is None:
+            ctx = NULL_CONTEXT
         sender = self.endpoint(src)
         receiver = self.endpoint(dst)
-        tx_grant = yield sender.tx.acquire(priority)
+        span = ctx.begin(
+            "transfer", cat="network", component=f"nic:{src}",
+            src=src, dst=dst, size=size,
+        )
         try:
-            rx_grant = yield receiver.rx.acquire(priority)
+            tx_grant = yield sender.tx.acquire(priority)
             try:
-                rate = min(sender.bandwidth, receiver.bandwidth)
-                wire = size / rate
-                yield self.sim.timeout(self.spec.latency + wire)
+                rx_grant = yield receiver.rx.acquire(priority)
+                try:
+                    rate = min(sender.bandwidth, receiver.bandwidth)
+                    wire = size / rate
+                    yield self.sim.timeout(self.spec.latency + wire)
+                finally:
+                    receiver.rx.release(rx_grant)
             finally:
-                receiver.rx.release(rx_grant)
+                sender.tx.release(tx_grant)
         finally:
-            sender.tx.release(tx_grant)
+            ctx.end(span)
         sender.bytes_sent += size
         receiver.bytes_received += size
         self.total_transfers += 1
@@ -107,8 +119,11 @@ class Fabric:
         request_size: int,
         response_size: int,
         priority: int = PRIORITY_NORMAL,
+        ctx: "TraceContext | None" = None,
     ):
         """RPC helper: request payload one way, response the other."""
-        yield from self.transfer(client, server, request_size, priority)
-        yield from self.transfer(server, client, response_size, priority)
+        yield from self.transfer(client, server, request_size, priority,
+                                 ctx=ctx)
+        yield from self.transfer(server, client, response_size, priority,
+                                 ctx=ctx)
         return self.sim.now

@@ -37,5 +37,15 @@ class Link:
             raise NetworkError(f"negative transfer size: {size}")
         return size / self.bandwidth
 
+    def telemetry(self) -> dict:
+        """Registry hook: this NIC's counters and live queue state."""
+        return {
+            "bandwidth": self.bandwidth,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "tx_queue": self.tx.queue_length,
+            "rx_queue": self.rx.queue_length,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Link {self.name} {self.bandwidth / 1e6:.0f}MB/s>"

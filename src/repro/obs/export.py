@@ -1,0 +1,144 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON.
+
+The Chrome format (loadable in Perfetto / ``chrome://tracing``) maps
+the simulation onto the profile UI's process/thread model:
+
+- one "process" (pid) per component — the application layer, each file
+  server, each server's device, each NIC, the Rebuilder;
+- one "thread" (tid) per MPI rank inside each process (tid -1 is the
+  Rebuilder's background work).
+
+Pids are assigned by sorting the component names, so the mapping is a
+pure function of the set of components in the trace: two runs with the
+same seed produce byte-identical pid/tid assignments.
+
+Simulation seconds become microseconds on the trace timeline (the
+Chrome format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .context import Span
+from .tracer import Tracer
+
+#: Trace-event timestamps are microseconds.
+_US = 1e6
+
+
+def span_lines(tracer: Tracer) -> list[dict]:
+    """All recorded spans and instants as JSON-ready dicts.
+
+    Spans appear in begin order; instants follow, in record order.
+    Unfinished spans (a killed process that never closed one) are
+    exported with ``end: null`` so they remain visible.
+    """
+    return [s.as_dict() for s in tracer.spans] + [
+        dict(s.as_dict(), instant=True) for s in tracer.instants
+    ]
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per line; trivially greppable/streamable."""
+    return "\n".join(json.dumps(line, sort_keys=True)
+                     for line in span_lines(tracer))
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(tracer))
+        fh.write("\n")
+
+
+def component_pids(tracer: Tracer) -> dict[str, int]:
+    """Stable component -> pid mapping (sorted names, pids from 1)."""
+    names = {s.component for s in tracer.spans}
+    names.update(s.component for s in tracer.instants)
+    return {name: pid for pid, name in enumerate(sorted(names), start=1)}
+
+
+def _thread_name(tid: int) -> str:
+    return f"rank {tid}" if tid >= 0 else "rebuilder"
+
+
+def to_chrome(tracer: Tracer) -> dict:
+    """Build the Chrome trace-event JSON object (dict form)."""
+    pids = component_pids(tracer)
+    events: list[dict] = []
+    threads: set[tuple[int, int]] = set()
+
+    for name, pid in pids.items():
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    def _common(span: Span) -> dict:
+        pid = pids[span.component]
+        threads.add((pid, span.tid))
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["trace_id"] = span.trace_id
+        return {
+            "name": span.name, "cat": span.cat,
+            "ts": span.start * _US, "pid": pid, "tid": span.tid,
+            "args": args,
+        }
+
+    for span in tracer.spans:
+        event = _common(span)
+        event["ph"] = "X"
+        end = span.end if span.end is not None else span.start
+        event["dur"] = (end - span.start) * _US
+        events.append(event)
+    for span in tracer.instants:
+        event = _common(span)
+        event["ph"] = "i"
+        event["s"] = "t"  # thread-scoped instant
+        events.append(event)
+
+    for pid, tid in sorted(threads):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": _thread_name(tid)},
+        })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(tracer), fh)
+
+
+def validate_nesting(tracer: Tracer) -> list[str]:
+    """Structural check: every child fits inside its parent.
+
+    Returns human-readable problem strings (empty == well-nested).
+    Used by the exporter unit tests and handy when instrumenting a new
+    layer.
+    """
+    problems: list[str] = []
+    index = tracer.by_id()
+    for span in tracer.spans + tracer.instants:
+        if span.parent_id is None:
+            continue
+        parent = index.get(span.parent_id)
+        if parent is None:
+            problems.append(f"span {span.span_id} has unknown parent "
+                            f"{span.parent_id}")
+            continue
+        if span.trace_id != parent.trace_id:
+            problems.append(f"span {span.span_id} crosses traces "
+                            f"({span.trace_id} under {parent.trace_id})")
+        if span.start < parent.start - 1e-12:
+            problems.append(f"span {span.span_id} starts before parent "
+                            f"{parent.span_id}")
+        if (span.end is not None and parent.end is not None
+                and span.end > parent.end + 1e-12):
+            problems.append(f"span {span.span_id} ends after parent "
+                            f"{parent.span_id}")
+    return problems

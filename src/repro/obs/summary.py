@@ -1,0 +1,88 @@
+"""Per-layer latency breakdown from a recorded trace.
+
+Aggregates every finished span into (layer, span-name) buckets using
+:class:`~repro.sim.monitor.Tally`, then renders the table the
+``repro trace`` CLI prints: where did the simulated time go, layer by
+layer, request by request kind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..sim.monitor import Tally
+from .tracer import Tracer
+
+#: Render order: top of the stack first.
+LAYER_ORDER = (
+    "mpiio", "middleware", "pfs", "network", "server", "oscache",
+    "device", "rebuilder",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakdownRow:
+    """Aggregate of one (layer, span name) bucket."""
+
+    layer: str
+    name: str
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+
+
+def latency_breakdown(tracer: Tracer) -> list[BreakdownRow]:
+    """Aggregate finished spans per (cat, name), in layer order."""
+    buckets: dict[tuple[str, str], Tally] = {}
+    for span in tracer.finished_spans():
+        key = (span.cat, span.name)
+        tally = buckets.get(key)
+        if tally is None:
+            tally = buckets[key] = Tally(span.name)
+        tally.observe(span.duration)
+
+    def order(key: tuple[str, str]) -> tuple[int, str, str]:
+        layer, name = key
+        try:
+            rank = LAYER_ORDER.index(layer)
+        except ValueError:
+            rank = len(LAYER_ORDER)
+        return (rank, layer, name)
+
+    rows = []
+    for (layer, name) in sorted(buckets, key=order):
+        tally = buckets[(layer, name)]
+        rows.append(BreakdownRow(
+            layer=layer, name=name, count=tally.count,
+            total=tally.count * tally.mean, mean=tally.mean,
+            minimum=tally.minimum, maximum=tally.maximum,
+        ))
+    return rows
+
+
+def render_breakdown(tracer: Tracer) -> str:
+    """The human-readable per-layer latency table."""
+    rows = latency_breakdown(tracer)
+    if not rows:
+        return "no spans recorded"
+    header = ("layer", "span", "count", "total s", "mean us",
+              "min us", "max us")
+    table = [header]
+    for row in rows:
+        table.append((
+            row.layer, row.name, str(row.count),
+            f"{row.total:.4f}", f"{row.mean * 1e6:.1f}",
+            f"{row.minimum * 1e6:.1f}", f"{row.maximum * 1e6:.1f}",
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(w) if j < 2 else cell.rjust(w)
+            for j, (cell, w) in enumerate(zip(row, widths))
+        ))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

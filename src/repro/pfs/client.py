@@ -8,12 +8,14 @@ import typing
 from ..devices.base import OP_READ, OP_WRITE
 from ..errors import PFSError
 from ..network import Fabric
+from ..obs import NULL_CONTEXT
 from ..sim.resources import PRIORITY_NORMAL
 from .content import next_stamp
 from .filesystem import PFS, PFSFile
 from .layout import split_request
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..obs import TraceContext
     from ..sim import Simulator
 
 #: Bytes of protocol header per PFS message (request/ack framing).
@@ -74,9 +76,10 @@ class PFSClient:
         offset: int,
         size: int,
         priority: int = PRIORITY_NORMAL,
+        ctx: "TraceContext | None" = None,
     ):
         """Process generator; returns an :class:`IOResult` with stamps."""
-        return self._io(OP_READ, handle, offset, size, priority, None)
+        return self._io(OP_READ, handle, offset, size, priority, None, ctx)
 
     def write(
         self,
@@ -85,6 +88,7 @@ class PFSClient:
         size: int,
         priority: int = PRIORITY_NORMAL,
         stamp: int | None = None,
+        ctx: "TraceContext | None" = None,
     ):
         """Process generator; returns an :class:`IOResult`.
 
@@ -92,7 +96,7 @@ class PFSClient:
         a fresh one is minted if not supplied (e.g. when copying data,
         the mover passes the source stamp through).
         """
-        return self._io(OP_WRITE, handle, offset, size, priority, stamp)
+        return self._io(OP_WRITE, handle, offset, size, priority, stamp, ctx)
 
     # -- internals --------------------------------------------------------
     def _io(
@@ -103,19 +107,30 @@ class PFSClient:
         size: int,
         priority: int,
         stamp: int | None,
+        ctx: "TraceContext | None" = None,
     ):
         if size <= 0:
             raise PFSError(f"request size must be positive: {size}")
+        if ctx is None:
+            ctx = NULL_CONTEXT
         start = self.sim.now
         subs = split_request(offset, size, self.pfs.stripe_size, self.pfs.num_servers)
+        span = ctx.begin(
+            "pfs_io", cat="pfs", component="app",
+            fs=self.pfs.name, endpoint=self.endpoint, sub_requests=len(subs),
+        )
+        sub_ctx = ctx.under(span)
         flows = [
             self.sim.spawn(
-                self._sub_flow(op, handle, sub, priority),
+                self._sub_flow(op, handle, sub, priority, sub_ctx),
                 name=f"{op}:{handle.name}:{sub.server}",
             )
             for sub in subs
         ]
-        yield self.sim.all_of(flows)
+        try:
+            yield self.sim.all_of(flows)
+        finally:
+            ctx.end(span)
 
         self.requests_issued += 1
         self.bytes_moved += size
@@ -137,26 +152,41 @@ class PFSClient:
             result.segments = handle.content.read(offset, size)
         return result
 
-    def _sub_flow(self, op, handle: PFSFile, sub, priority):
+    def _sub_flow(self, op, handle: PFSFile, sub, priority,
+                  ctx=NULL_CONTEXT):
         """One sub-request's full round trip."""
         server = self.pfs.servers[sub.server]
         address = handle.local_address(sub.server, sub.local_offset, sub.length)
-        if op == OP_WRITE:
-            # Data travels with the request; small ack returns.
-            yield from self.fabric.transfer(
-                self.endpoint, server.name, HEADER_BYTES + sub.length, priority
-            )
-            yield from server.serve(op, address, sub.length, priority)
-            yield from self.fabric.transfer(
-                server.name, self.endpoint, HEADER_BYTES, priority
-            )
-        else:
-            # Small request out; data travels back.
-            yield from self.fabric.transfer(
-                self.endpoint, server.name, HEADER_BYTES, priority
-            )
-            yield from server.serve(op, address, sub.length, priority)
-            yield from self.fabric.transfer(
-                server.name, self.endpoint, HEADER_BYTES + sub.length, priority
-            )
+        span = ctx.begin(
+            "sub_request", cat="pfs", component=server.name,
+            op=op, size=sub.length,
+        )
+        ctx = ctx.under(span)
+        try:
+            if op == OP_WRITE:
+                # Data travels with the request; small ack returns.
+                yield from self.fabric.transfer(
+                    self.endpoint, server.name, HEADER_BYTES + sub.length,
+                    priority, ctx=ctx,
+                )
+                yield from server.serve(op, address, sub.length, priority,
+                                        ctx=ctx)
+                yield from self.fabric.transfer(
+                    server.name, self.endpoint, HEADER_BYTES, priority,
+                    ctx=ctx,
+                )
+            else:
+                # Small request out; data travels back.
+                yield from self.fabric.transfer(
+                    self.endpoint, server.name, HEADER_BYTES, priority,
+                    ctx=ctx,
+                )
+                yield from server.serve(op, address, sub.length, priority,
+                                        ctx=ctx)
+                yield from self.fabric.transfer(
+                    server.name, self.endpoint, HEADER_BYTES + sub.length,
+                    priority, ctx=ctx,
+                )
+        finally:
+            ctx.end(span)
         return sub.length

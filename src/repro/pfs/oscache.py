@@ -30,10 +30,12 @@ import dataclasses
 import typing
 
 from ..errors import ConfigError
+from ..obs import NULL_CONTEXT
 from ..sim.resources import PRIORITY_LOW
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..devices.base import StorageDevice
+    from ..obs import TraceContext
     from ..sim import Simulator
 
 
@@ -121,15 +123,21 @@ class OSCache:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
-    def read(self, offset: int, size: int, priority: int):
+    def read(self, offset: int, size: int, priority: int,
+             ctx: "TraceContext | None" = None):
         """Process generator timing one read."""
+        if ctx is None:
+            ctx = NULL_CONTEXT
         spec = self.spec
         if size >= spec.readahead_max:
             # Large request: direct device read, no window bookkeeping.
-            yield from self._device_op("read", offset, size, priority)
+            yield from self._device_op("read", offset, size, priority,
+                                       ctx=ctx)
             return
         if self._in_dirty(offset, size):
             self.read_hits += 1  # data still in the page cache (dirty)
+            ctx.event("oscache_hit", cat="oscache", component=self.name,
+                      kind="dirty", size=size)
             return
         stream = self._match_stream(offset)
         if stream is not None and (
@@ -137,6 +145,8 @@ class OSCache:
             and offset + size <= stream.buffered_until
         ):
             self.read_hits += 1
+            ctx.event("oscache_hit", cat="oscache", component=self.name,
+                      kind="readahead", size=size)
             self._maybe_prefetch(stream, offset + size)
             return
         # Stream state is registered *before* the device operation so
@@ -147,7 +157,8 @@ class OSCache:
         if stream is None:
             # Cold/random: read exactly the request, start a context.
             self._push_stream(_ReadStream(offset, offset + size, size))
-            yield from self._device_op("read", offset, size, priority)
+            yield from self._device_op("read", offset, size, priority,
+                                       ctx=ctx)
             return
         # Confirmed stream past its window: synchronous refill, ramping.
         window = min(max(2 * stream.window, 4 * size), spec.readahead_max)
@@ -157,7 +168,7 @@ class OSCache:
         stream.window_start = offset
         stream.buffered_until = offset + window
         stream.window = window
-        yield from self._device_op("read", offset, window, priority)
+        yield from self._device_op("read", offset, window, priority, ctx=ctx)
 
     def _match_stream(self, offset: int) -> _ReadStream | None:
         """Linux ``ondemand_readahead`` semantics: a request belongs to
@@ -206,16 +217,26 @@ class OSCache:
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
-    def write(self, offset: int, size: int, priority: int):
+    def write(self, offset: int, size: int, priority: int,
+              ctx: "TraceContext | None" = None):
         """Process generator timing one write (absorb + backpressure)."""
+        if ctx is None:
+            ctx = NULL_CONTEXT
         self._add_dirty(offset, offset + size)
         self.writes_absorbed += 1
         self._ensure_drainer()
-        while self._dirty_bytes > self.spec.dirty_high:
-            self.writes_throttled += 1
-            gate = self.sim.event()
-            self._write_waiters.append(gate)
-            yield gate
+        if self._dirty_bytes <= self.spec.dirty_high:
+            return
+        span = ctx.begin("writeback_throttle", cat="oscache",
+                         component=self.name, size=size)
+        try:
+            while self._dirty_bytes > self.spec.dirty_high:
+                self.writes_throttled += 1
+                gate = self.sim.event()
+                self._write_waiters.append(gate)
+                yield gate
+        finally:
+            ctx.end(span)
 
     def _add_dirty(self, start: int, end: int) -> None:
         """Insert [start, end) into the sorted run list, merging."""
@@ -277,8 +298,9 @@ class OSCache:
     # ------------------------------------------------------------------
     # shared device access
     # ------------------------------------------------------------------
-    def _device_op(self, op: str, offset: int, size: int, priority: int):
-        yield from self._device_op_impl(op, offset, size, priority)
+    def _device_op(self, op: str, offset: int, size: int, priority: int,
+                   ctx: "TraceContext | None" = None):
+        yield from self._device_op_impl(op, offset, size, priority, ctx=ctx)
 
     @property
     def dirty_bytes(self) -> int:

@@ -5,12 +5,14 @@ from __future__ import annotations
 import typing
 
 from ..devices.base import OP_READ, OP_WRITE, StorageDevice
+from ..obs import NULL_CONTEXT
 from ..sim import PriorityResource
 from ..sim.monitor import IntervalLog
 from ..sim.resources import PRIORITY_NORMAL
 from .oscache import OSCache, OSCacheSpec
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..obs import TraceContext
     from ..sim import Simulator
 
 
@@ -60,36 +62,62 @@ class FileServer:
             )
 
     def serve(
-        self, op: str, offset: int, size: int, priority: int = PRIORITY_NORMAL
+        self, op: str, offset: int, size: int,
+        priority: int = PRIORITY_NORMAL,
+        ctx: "TraceContext | None" = None,
     ):
         """Process generator serving one sub-request.
 
         Returns the elapsed foreground time (absorbed writes return
         quickly; their device work continues in the background).
         """
+        if ctx is None:
+            ctx = NULL_CONTEXT
         start = self.sim.now
-        yield self.sim.timeout(self.software_overhead)
-        if self.os_cache is not None:
-            if op == OP_WRITE:
-                yield from self.os_cache.write(offset, size, priority)
-            elif op == OP_READ:
-                yield from self.os_cache.read(offset, size, priority)
-            else:  # defensive: let the device reject unknown ops
-                yield from self._device_op(op, offset, size, priority)
-        else:
-            yield from self._device_op(op, offset, size, priority)
+        span = ctx.begin("service", cat="server", component=self.name,
+                         op=op, size=size)
+        ctx = ctx.under(span)
+        try:
+            yield self.sim.timeout(self.software_overhead)
+            if self.os_cache is not None:
+                if op == OP_WRITE:
+                    yield from self.os_cache.write(offset, size, priority,
+                                                   ctx=ctx)
+                elif op == OP_READ:
+                    yield from self.os_cache.read(offset, size, priority,
+                                                  ctx=ctx)
+                else:  # defensive: let the device reject unknown ops
+                    yield from self._device_op(op, offset, size, priority,
+                                               ctx=ctx)
+            else:
+                yield from self._device_op(op, offset, size, priority,
+                                           ctx=ctx)
+        finally:
+            ctx.end(span)
         self.requests_served += 1
         self.bytes_served += size
         return self.sim.now - start
 
-    def _device_op(self, op: str, offset: int, size: int, priority: int):
+    def _device_op(self, op: str, offset: int, size: int, priority: int,
+                   ctx: "TraceContext | None" = None):
         """Queue + execute one device operation (shared by all paths)."""
+        if ctx is None:
+            ctx = NULL_CONTEXT
+        wait_span = ctx.begin("queue_wait", cat="server",
+                              component=self.name, op=op)
         grant = yield self.queue.acquire(priority)
+        ctx.end(wait_span, queue_length=self.queue.queue_length)
         start = self.sim.now
+        dev_span = ctx.begin(
+            "device_service", cat="device",
+            component=f"{self.name}/{self.device.name}",
+            op=op, size=size,
+        )
         try:
             elapsed = self.device.service_time(op, offset, size, self._rng)
             yield self.sim.timeout(elapsed)
         finally:
+            ctx.end(dev_span)
             self.queue.release(grant)
         self.busy_log.record(start, self.sim.now, op)
 

@@ -38,16 +38,26 @@ class Tally:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
+        self._minimum = math.inf
+        self._maximum = -math.inf
 
     def observe(self, value: float) -> None:
         self.count += 1
         delta = value - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (value - self._mean)
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation; 0.0 with no samples (not ``inf``)."""
+        return self._minimum if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation; 0.0 with no samples (not ``-inf``)."""
+        return self._maximum if self.count else 0.0
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,39 @@
+"""CacheMetrics export helpers: as_dict and derived ratios."""
+
+from repro.core.metrics import CacheMetrics
+
+
+def test_ratios_are_zero_on_fresh_metrics():
+    m = CacheMetrics()
+    assert m.read_hit_ratio == 0.0
+    assert m.write_hit_ratio == 0.0
+    assert m.admission_ratio == 0.0
+
+
+def test_read_hit_ratio():
+    m = CacheMetrics(read_hits=3, read_misses=1)
+    assert m.read_hit_ratio == 0.75
+
+
+def test_write_hit_and_admission_ratios():
+    m = CacheMetrics(write_hits=2, write_admitted=1, write_bounced=1)
+    assert m.write_hit_ratio == 0.5
+    assert m.admission_ratio == 0.5
+
+
+def test_as_dict_includes_counters_and_ratios():
+    m = CacheMetrics(read_hits=1, read_misses=3, flushed_bytes=4096)
+    data = m.as_dict()
+    assert data["read_hits"] == 1
+    assert data["flushed_bytes"] == 4096
+    assert data["read_hit_ratio"] == 0.25
+    # Every dataclass counter is present.
+    assert "bytes_to_cservers" in data
+    assert "critical_admissions" in data
+
+
+def test_as_dict_is_json_ready():
+    import json
+
+    round_trip = json.loads(json.dumps(CacheMetrics().as_dict()))
+    assert round_trip["admission_ratio"] == 0.0

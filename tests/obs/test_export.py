@@ -1,0 +1,108 @@
+"""Exporter tests: JSONL, Chrome trace-event JSON, nesting validator."""
+
+import json
+
+from repro.cluster import ClusterSpec, run_workload
+from repro.obs import (
+    Tracer,
+    component_pids,
+    to_chrome,
+    to_jsonl,
+    validate_nesting,
+)
+from repro.sim import Simulator
+from repro.workloads import IORWorkload
+
+
+def _small_traced_run(seed=7):
+    spec = ClusterSpec(num_dservers=2, num_cservers=1, num_nodes=2, seed=seed)
+    workload = IORWorkload(2, 16 * 1024, 4 * 1024 * 1024,
+                           pattern="random", seed=seed, requests_per_rank=8)
+    tracer = Tracer()
+    run_workload(spec, workload, s4d=True, obs=tracer, read_runs=1)
+    return tracer
+
+
+def _synthetic_tracer():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    ctx = tracer.request(0, "read", "/f", 0, 4096)
+
+    def flow():
+        span = ctx.begin("service", cat="server", component="dserver0")
+        yield sim.timeout(0.25)
+        ctx.end(span)
+        ctx.finish()
+
+    sim.run_process(flow())
+    return tracer
+
+
+def test_jsonl_round_trips():
+    tracer = _synthetic_tracer()
+    lines = [json.loads(line) for line in to_jsonl(tracer).splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["name"] == "read"
+    assert lines[1]["parent_id"] == lines[0]["span_id"]
+    assert lines[1]["duration"] == 0.25
+
+
+def test_chrome_trace_parses_as_json():
+    tracer = _small_traced_run()
+    data = json.loads(json.dumps(to_chrome(tracer)))
+    events = data["traceEvents"]
+    assert events, "empty trace"
+    phases = {e["ph"] for e in events}
+    assert "X" in phases and "M" in phases
+    for event in events:
+        if event["ph"] == "X":
+            assert event["dur"] >= 0.0
+            assert "span_id" in event["args"]
+
+
+def test_chrome_trace_has_expected_components():
+    tracer = _small_traced_run()
+    names = {
+        e["args"]["name"]
+        for e in to_chrome(tracer)["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert "app" in names
+    assert any(n.startswith("dserver") for n in names)
+    assert any("/" in n for n in names), "no device processes"
+    assert any(n.startswith("nic:") for n in names)
+
+
+def test_spans_nest_cleanly_in_real_run():
+    tracer = _small_traced_run()
+    assert validate_nesting(tracer) == []
+    assert tracer.stats().open_spans == 0
+    # Every expected layer shows up in the span stream.
+    cats = {s.cat for s in tracer.spans}
+    assert {"mpiio", "middleware", "pfs", "network", "server",
+            "device"} <= cats
+
+
+def test_pid_tid_stable_across_same_seed_runs():
+    first = _small_traced_run(seed=11)
+    second = _small_traced_run(seed=11)
+    assert component_pids(first) == component_pids(second)
+
+    def pid_tid_pairs(tracer):
+        pids = component_pids(tracer)
+        return [
+            (pids[s.component], s.tid, s.name) for s in tracer.spans
+        ]
+
+    assert pid_tid_pairs(first) == pid_tid_pairs(second)
+
+
+def test_unfinished_spans_export_with_null_end():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    tracer.request(0, "read", "/f", 0, 1)  # never finished
+    (line,) = [json.loads(l) for l in to_jsonl(tracer).splitlines()]
+    assert line["end"] is None
+    (event,) = [e for e in to_chrome(tracer)["traceEvents"]
+                if e["ph"] == "X"]
+    assert event["dur"] == 0.0

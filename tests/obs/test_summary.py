@@ -1,0 +1,57 @@
+"""Latency-breakdown aggregation and rendering."""
+
+from repro.obs import Tracer, latency_breakdown, render_breakdown
+from repro.obs.summary import LAYER_ORDER
+from repro.sim import Simulator
+
+
+def _tracer_with_layers():
+    sim = Simulator(seed=2)
+    tracer = Tracer(sim)
+    ctx = tracer.request(0, "read", "/f", 0, 1)
+
+    def flow():
+        dev = ctx.begin("device_service", cat="device", component="d0/hdd")
+        yield sim.timeout(0.002)
+        ctx.end(dev)
+        net = ctx.begin("transfer", cat="network", component="nic:n0")
+        yield sim.timeout(0.001)
+        ctx.end(net)
+        net2 = ctx.begin("transfer", cat="network", component="nic:n0")
+        yield sim.timeout(0.003)
+        ctx.end(net2)
+        ctx.finish()
+
+    sim.run_process(flow())
+    return tracer
+
+
+def test_breakdown_aggregates_per_layer_and_name():
+    rows = latency_breakdown(_tracer_with_layers())
+    by_key = {(r.layer, r.name): r for r in rows}
+    transfer = by_key[("network", "transfer")]
+    assert transfer.count == 2
+    assert transfer.minimum == 0.001
+    assert transfer.maximum == 0.003
+    assert transfer.total == 0.004
+    assert by_key[("device", "device_service")].count == 1
+    assert by_key[("mpiio", "read")].count == 1
+
+
+def test_breakdown_rows_follow_stack_order():
+    rows = latency_breakdown(_tracer_with_layers())
+    ranks = [LAYER_ORDER.index(r.layer) for r in rows]
+    assert ranks == sorted(ranks)
+
+
+def test_render_breakdown_is_a_table():
+    text = render_breakdown(_tracer_with_layers())
+    lines = text.splitlines()
+    assert lines[0].startswith("layer")
+    assert any("device_service" in line for line in lines)
+    assert any("transfer" in line for line in lines)
+
+
+def test_render_breakdown_empty():
+    sim = Simulator(seed=0)
+    assert render_breakdown(Tracer(sim)) == "no spans recorded"

@@ -1,0 +1,116 @@
+"""Tracer/TraceContext unit tests: nesting, no-op path, profiling."""
+
+from repro.obs import NULL_CONTEXT, NULL_TRACER, Tracer
+from repro.sim import Simulator
+
+
+def _traced_request(sim, tracer):
+    """One request descending two layers while sim time advances."""
+    ctx = tracer.request(3, "read", "/f", 0, 4096)
+
+    def flow():
+        span = ctx.begin("pfs_io", cat="pfs", component="app")
+        sub = ctx.under(span)
+        yield sim.timeout(0.5)
+        inner = sub.begin("service", cat="server", component="dserver0")
+        yield sim.timeout(1.0)
+        sub.end(inner, op="read")
+        ctx.end(span)
+        ctx.finish()
+
+    sim.run_process(flow(), name="req")
+    return ctx
+
+
+def test_spans_nest_under_request_root():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    _traced_request(sim, tracer)
+
+    root, pfs, service = tracer.spans
+    assert root.parent_id is None
+    assert pfs.parent_id == root.span_id
+    assert service.parent_id == pfs.span_id
+    assert root.attrs["path"] == "/f"
+    assert root.attrs["size"] == 4096
+    assert all(s.tid == 3 for s in tracer.spans)
+    assert all(s.trace_id == root.trace_id for s in tracer.spans)
+
+
+def test_span_times_follow_sim_clock():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    _traced_request(sim, tracer)
+
+    root, pfs, service = tracer.spans
+    assert root.start == 0.0
+    assert root.end == 1.5
+    assert service.start == 0.5
+    assert service.duration == 1.0
+    assert pfs.duration == 1.5
+
+
+def test_finish_is_idempotent_and_closes_only_root():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    ctx = tracer.request(0, "write", "/f", 0, 1)
+    ctx.finish()
+    end = tracer.spans[0].end
+    ctx.finish()  # second call must not move the end time
+    assert tracer.spans[0].end == end
+    assert tracer.stats().open_spans == 0
+
+
+def test_under_none_returns_same_context():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    ctx = tracer.request(0, "read", "/f", 0, 1)
+    assert ctx.under(None) is ctx
+
+
+def test_events_are_instants_with_parent():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    ctx = tracer.request(0, "read", "/f", 0, 1)
+    ctx.event("oscache_hit", cat="oscache", component="dserver0", size=42)
+    ctx.finish()
+    (instant,) = tracer.instants
+    assert instant.start == instant.end
+    assert instant.parent_id == tracer.spans[0].span_id
+    assert instant.attrs["size"] == 42
+
+
+def test_null_tracer_records_nothing():
+    ctx = NULL_TRACER.request(0, "read", "/f", 0, 1)
+    assert ctx is NULL_CONTEXT
+    assert not ctx
+    assert ctx.begin("x", cat="c", component="app") is None
+    ctx.end(None)
+    ctx.event("x", cat="c", component="app")
+    assert ctx.under(None) is NULL_CONTEXT
+    ctx.finish()
+    assert not NULL_TRACER.enabled
+
+
+def test_self_profiling_counts_records():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    _traced_request(sim, tracer)
+    stats = tracer.stats()
+    assert stats.spans == 3
+    assert stats.events == 0
+    assert stats.open_spans == 0
+    assert stats.overhead_wall_seconds >= 0.0
+    assert tracer.as_dict()["spans"] == 3
+
+
+def test_clear_resets_ids():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    _traced_request(sim, tracer)
+    tracer.clear()
+    assert len(tracer) == 0
+    ctx = tracer.request(0, "read", "/f", 0, 1)
+    ctx.finish()
+    assert tracer.spans[0].span_id == 1
+    assert tracer.spans[0].trace_id == 1

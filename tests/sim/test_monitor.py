@@ -36,6 +36,16 @@ def test_tally_empty_and_single():
     assert t.variance == 0.0
 
 
+def test_tally_empty_extrema_are_zero():
+    # A fresh tally used to leak its +/-inf sentinels into reports.
+    t = Tally()
+    assert t.minimum == 0.0
+    assert t.maximum == 0.0
+    t.observe(-2.0)
+    assert t.minimum == -2.0
+    assert t.maximum == -2.0
+
+
 def test_time_weighted_average():
     sim = Simulator()
     tw = TimeWeighted(sim, initial=0.0)

@@ -36,6 +36,30 @@ def test_replay_trace(tmp_path, capsys):
     assert "replaying 3 requests" in out
 
 
+def test_trace_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code = main([
+        "trace", "--processes", "2", "--requests-per-rank", "8",
+        "--dservers", "2", "--cservers", "1", "--read-runs", "1",
+        "--file-size", "4MB",
+        "--out", str(out), "--jsonl", str(jsonl), "--metrics", str(metrics),
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "chrome trace:" in text
+    assert "device_service" in text  # the latency-breakdown table
+    assert "tracer overhead" in text
+
+    data = json.loads(out.read_text())
+    assert any(e["ph"] == "X" for e in data["traceEvents"])
+    assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+    assert "cache" in json.loads(metrics.read_text())
+
+
 def test_experiments_forwarding(capsys):
     assert main(["experiments", "--list"]) == 0
     out = capsys.readouterr().out

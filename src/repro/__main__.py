@@ -7,6 +7,7 @@ Usage::
     python -m repro trace --workload ior --out trace.json
     python -m repro calibrate
     python -m repro replay mytrace.txt
+    python -m repro lint src tests             # forwards
     python -m repro experiments --only fig6a   # forwards
 
 Everything the CLI does is also a two-liner against the library; the
@@ -205,6 +206,10 @@ def main(argv: list[str] | None = None) -> int:
         from .experiments.__main__ import main as experiments_main
 
         return experiments_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -249,6 +254,12 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         help="regenerate the paper's tables/figures "
              "(python -m repro.experiments)",
+    )
+
+    sub.add_parser(
+        "lint",
+        help="simlint: determinism & simulation-safety static analysis "
+             "(python -m repro lint src tests)",
     )
 
     args = parser.parse_args(argv)

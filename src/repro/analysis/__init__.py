@@ -1,0 +1,44 @@
+"""simlint: determinism & simulation-safety static analysis.
+
+The whole evaluation rests on one invariant: *same seed, bit-identical
+simulated results*.  That invariant is easy to break silently — a
+wall-clock read in a hot path, an iteration over a ``set``, an ``id()``
+used as a tie-breaker — and a single regression test cannot catch the
+hazard before it ships.  This package turns the invariant into a
+CI-enforced property: an AST-based linter with repo-specific rules,
+run over the whole tree next to ruff (``python -m repro lint src
+tests``).
+
+Layout:
+
+``findings``      the :class:`Finding` record and text/JSON formatting
+``registry``      :class:`Rule` base class + ``@register_rule`` registry
+``config``        :class:`LintConfig`, loaded from ``[tool.simlint]``
+``suppressions``  inline ``# simlint: disable=CODE`` handling
+``engine``        file walking, rule execution, finding filtering
+``rules/``        one module per rule family (determinism, simulation,
+                  observability, errors) — add a rule by dropping a
+                  visitor class with ``@register_rule`` in one file
+``cli``           the ``python -m repro lint`` entry point
+"""
+
+from .config import DEFAULT_SIM_PACKAGES, LintConfig, load_config
+from .engine import LintReport, lint_file, lint_paths
+from .findings import Finding
+from .registry import RULES, Rule, register_rule
+
+# Importing the rules package registers every built-in rule.
+from . import rules as _rules  # noqa: F401  (import-for-side-effect)
+
+__all__ = [
+    "DEFAULT_SIM_PACKAGES",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "register_rule",
+]

@@ -1,0 +1,123 @@
+"""``python -m repro lint``: run simlint from the command line.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error (argparse).
+``--format json`` emits one machine-readable object (CI artifacts,
+editor integrations); text mode prints one clickable line per finding
+plus a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import typing
+
+from .config import load_config
+from .engine import lint_paths
+from .registry import RULES
+
+
+def _parse_codes(raw: str | None) -> frozenset[str]:
+    if not raw:
+        return frozenset()
+    return frozenset(
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "simlint: determinism & simulation-safety static analysis "
+            "(AST rules specific to this reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="project root for pyproject.toml config and relative "
+             "paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append per-code finding counts (text format)",
+    )
+    return parser
+
+
+def _list_rules(out: typing.TextIO) -> None:
+    width = max(len(code) for code in RULES)
+    for code, rule in RULES.items():
+        scope = "sim-critical only" if rule.sim_only else "tree-wide"
+        out.write(f"{code:<{width}}  {rule.name} [{scope}]\n")
+        out.write(f"{'':<{width}}  {rule.rationale}\n")
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    root = pathlib.Path(args.root)
+    config = load_config(root)
+    cli_ignore = _parse_codes(args.ignore)
+    config = config.with_selection(
+        select=_parse_codes(args.select) or None,
+        ignore=(config.ignore | cli_ignore) if cli_ignore else None,
+    )
+    missing = [p for p in args.paths if not pathlib.Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths, config, root=root)
+
+    if args.format == "json":
+        json.dump(report.as_dict(), out, indent=2)
+        out.write("\n")
+    else:
+        for finding in report.findings:
+            out.write(finding.format_text() + "\n")
+        if args.statistics and report.findings:
+            out.write("\n")
+            for code, count in report.counts_by_code().items():
+                out.write(f"{count:>5}  {code}\n")
+        noun = "file" if report.files_checked == 1 else "files"
+        verdict = (
+            "clean" if report.clean
+            else f"{len(report.findings)} finding"
+            + ("s" if len(report.findings) != 1 else "")
+        )
+        out.write(
+            f"simlint: {report.files_checked} {noun} checked, {verdict}\n"
+        )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Linter configuration: sim-critical packages, allowlists, selection.
+
+Defaults are baked in so ``lint_paths`` works with no config file at
+all; a ``[tool.simlint]`` section in ``pyproject.toml`` extends them:
+
+.. code-block:: toml
+
+    [tool.simlint]
+    sim-packages = ["sim", "core"]        # replaces the default list
+    ignore = ["DET004"]                   # codes dropped everywhere
+
+    [tool.simlint.allow]                  # merged into the defaults
+    DET001 = ["*/obs/tracer.py"]          # path globs exempt per code
+
+Allowlists answer "this file is *sanctioned* to do that" (the tracer's
+self-profiling wall clock, the RNG module touching ``random``); inline
+``# simlint: disable=CODE`` comments answer "this one call site is" —
+see :mod:`repro.analysis.suppressions`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import pathlib
+
+#: Sub-packages of ``repro`` whose code runs inside the simulation and
+#: therefore must be bit-deterministic.  Order-sensitive rules (DET003,
+#: ERR001) only fire here; everything else is tree-wide.
+DEFAULT_SIM_PACKAGES: tuple[str, ...] = (
+    "sim", "core", "pfs", "devices", "network", "mpiio",
+)
+
+#: Built-in sanctioned locations, merged with ``[tool.simlint.allow]``.
+DEFAULT_ALLOW: dict[str, tuple[str, ...]] = {
+    # The tracer profiles its own wall-clock overhead; that is the one
+    # reporting path allowed to read the host clock directly.
+    "DET001": ("*/obs/tracer.py",),
+    # The named-stream RNG factory is the sanctioned owner of `random`.
+    "DET002": ("*/sim/rng.py",),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration."""
+
+    sim_packages: tuple[str, ...] = DEFAULT_SIM_PACKAGES
+    #: code -> path globs where the rule is sanctioned (not reported).
+    allow: dict[str, tuple[str, ...]] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+    #: If non-empty, only these codes run.
+    select: frozenset[str] = frozenset()
+    #: Codes never reported (applied after ``select``).
+    ignore: frozenset[str] = frozenset()
+
+    def code_enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    def allowed(self, code: str, rel_path: str) -> bool:
+        """True if ``rel_path`` is allowlisted for ``code``."""
+        patterns = self.allow.get(code, ())
+        return any(fnmatch.fnmatch(rel_path, pat) for pat in patterns)
+
+    def is_sim_critical(self, rel_path: str) -> bool:
+        """True for files inside a sim-critical ``repro`` sub-package."""
+        parts = pathlib.PurePosixPath(rel_path).parts
+        for i, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[i + 1] in self.sim_packages:
+                return True
+        return False
+
+    def with_selection(
+        self,
+        select: frozenset[str] | None = None,
+        ignore: frozenset[str] | None = None,
+    ) -> "LintConfig":
+        """Derived config with a different code selection (CLI flags)."""
+        return dataclasses.replace(
+            self,
+            select=self.select if select is None else select,
+            ignore=self.ignore if ignore is None else ignore,
+        )
+
+
+def load_config(root: pathlib.Path | str | None = None) -> LintConfig:
+    """Build a config from ``<root>/pyproject.toml`` (defaults if absent)."""
+    if root is None:
+        return LintConfig()
+    pyproject = pathlib.Path(root) / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig()
+    import tomllib
+
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError:
+        return LintConfig()
+    section = data.get("tool", {}).get("simlint", {})
+    if not isinstance(section, dict):
+        return LintConfig()
+
+    packages = section.get("sim-packages", section.get("sim_packages"))
+    sim_packages = (
+        tuple(str(p) for p in packages)
+        if isinstance(packages, list)
+        else DEFAULT_SIM_PACKAGES
+    )
+    allow = {code: tuple(globs) for code, globs in DEFAULT_ALLOW.items()}
+    for code, globs in section.get("allow", {}).items():
+        if isinstance(globs, list):
+            merged = allow.get(str(code), ()) + tuple(str(g) for g in globs)
+            allow[str(code)] = merged
+    ignore = frozenset(
+        str(c) for c in section.get("ignore", []) if isinstance(c, str)
+    )
+    return LintConfig(sim_packages=sim_packages, allow=allow, ignore=ignore)

@@ -1,0 +1,150 @@
+"""Run the registered rules over files and trees.
+
+The engine is deliberately boring: read, parse once, hand the tree to
+every enabled rule, filter findings through allowlists and inline
+suppressions, sort.  All the interesting logic lives in the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import typing
+
+from .config import LintConfig
+from .findings import PARSE_ERROR, Finding
+from .registry import RULES, FileContext
+from .suppressions import Suppressions
+
+#: Directories never descended into when expanding path arguments.
+SKIP_DIRS = {
+    ".git", "__pycache__", ".pytest_cache", ".ruff_cache",
+    "build", "dist", ".eggs",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "counts_by_code": self.counts_by_code(),
+        }
+
+
+def _rel_path(path: pathlib.Path, root: pathlib.Path | None) -> str:
+    """Finding path: relative to ``root`` when possible, POSIX-style."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit the rule tests use)."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=PARSE_ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        rel_path=rel_path,
+        source=source,
+        tree=tree,
+        config=config,
+        sim_critical=config.is_sim_critical(rel_path),
+    )
+    suppressions = Suppressions(source)
+    findings: list[Finding] = []
+    for code, rule_cls in RULES.items():
+        if not config.code_enabled(code):
+            continue
+        if rule_cls.sim_only and not ctx.sim_critical:
+            continue
+        if config.allowed(code, rel_path):
+            continue
+        findings.extend(rule_cls(ctx).run())
+    return sorted(f for f in findings if not suppressions.suppresses(f))
+
+
+def lint_file(
+    path: pathlib.Path | str,
+    config: LintConfig | None = None,
+    root: pathlib.Path | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = pathlib.Path(path)
+    rel = _rel_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=rel, line=1, col=1, code=PARSE_ERROR,
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    return lint_source(source, rel, config)
+
+
+def iter_python_files(
+    paths: typing.Sequence[pathlib.Path | str],
+) -> typing.Iterator[pathlib.Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        entry = pathlib.Path(entry)
+        if entry.is_dir():
+            for sub in sorted(entry.rglob("*.py")):
+                if not any(part in SKIP_DIRS for part in sub.parts):
+                    yield sub
+        else:
+            yield entry
+
+
+def lint_paths(
+    paths: typing.Sequence[pathlib.Path | str],
+    config: LintConfig | None = None,
+    root: pathlib.Path | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths``; the CLI's workhorse."""
+    if root is None:
+        root = pathlib.Path.cwd()
+    findings: list[Finding] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        findings.extend(lint_file(path, config, root=root))
+    return LintReport(findings=tuple(sorted(findings)),
+                      files_checked=files_checked)

@@ -1,0 +1,38 @@
+"""The finding record every rule emits.
+
+A finding is one (file, line, rule) violation.  Findings order by
+location so reports are stable regardless of rule execution order —
+the linter's own output must be deterministic, for obvious reasons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Pseudo-code for files the parser rejects (mirrors pyflakes' E999).
+PARSE_ERROR = "E999"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_text(self) -> str:
+        """``path:line:col: CODE message`` (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (one object per finding)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

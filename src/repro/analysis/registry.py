@@ -1,0 +1,159 @@
+"""Rule base class and the decorator-driven rule registry.
+
+A rule is a small :class:`ast.NodeVisitor` with class-level metadata.
+Registering is one decorator, so a future PR adds a rule by writing a
+single class in ``rules/``:
+
+.. code-block:: python
+
+    @register_rule
+    class NoFoo(Rule):
+        code = "DET099"
+        name = "no-foo"
+        rationale = "foo() is nondeterministic"
+
+        def visit_Call(self, node):
+            ...
+            self.report(node, "don't call foo()")
+            self.generic_visit(node)
+
+The base class tracks imports (``self.qualified`` resolves ``np.random
+.seed`` through ``import numpy as np``) and offers scope-aware walking
+helpers that function-level rules (SIM001, OBS001) need.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing
+
+from .config import LintConfig
+from .findings import Finding
+
+FunctionNode = typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    #: Path as reported in findings (relative to the lint root).
+    rel_path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    #: True when the file lives in a sim-critical ``repro`` sub-package.
+    sim_critical: bool
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all simlint rules."""
+
+    #: Unique rule code, e.g. ``DET001`` (family prefix + number).
+    code: typing.ClassVar[str] = ""
+    #: Short kebab-case name for listings.
+    name: typing.ClassVar[str] = ""
+    #: One-sentence justification shown by ``lint --list-rules``.
+    rationale: typing.ClassVar[str] = ""
+    #: When True the rule only runs on sim-critical packages.
+    sim_only: typing.ClassVar[bool] = False
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        #: local alias -> fully qualified module/object name.
+        self._imports: dict[str, str] = {}
+
+    # -- reporting --------------------------------------------------------
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.ctx.rel_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=self.code,
+                message=message,
+            )
+        )
+
+    # -- import-aware name resolution ------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._imports[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.asname:
+                self._imports[alias.asname] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def qualified(self, node: ast.AST) -> str | None:
+        """Resolve ``node`` to a dotted name through recorded imports.
+
+        ``np.random.seed`` (after ``import numpy as np``) resolves to
+        ``numpy.random.seed``; a bare ``perf_counter`` (after ``from
+        time import perf_counter``) to ``time.perf_counter``.  Returns
+        None for expressions that are not plain dotted names.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self._imports.get(parts[0])
+        if head is not None:
+            parts[0] = head
+        return ".".join(parts)
+
+    # -- scope helpers -----------------------------------------------------
+    @staticmethod
+    def walk_scope(fn: ast.AST) -> typing.Iterator[ast.AST]:
+        """Walk ``fn``'s body without descending into nested functions.
+
+        Function-level rules (resource discipline, span lifecycle)
+        must not attribute a nested helper's statements to its parent.
+        """
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def run(self) -> list[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+
+#: code -> rule class, in registration order.
+RULES: dict[str, type[Rule]] = {}
+
+RuleT = typing.TypeVar("RuleT", bound=type[Rule])
+
+
+def register_rule(cls: RuleT) -> RuleT:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    existing = RULES.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule code {cls.code}: "
+            f"{existing.__name__} and {cls.__name__}"
+        )
+    RULES[cls.code] = cls
+    return cls

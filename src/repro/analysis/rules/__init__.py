@@ -1,0 +1,9 @@
+"""Built-in simlint rules, grouped by family.
+
+Importing this package registers every rule; add a new family by
+creating a module here and importing it below.
+"""
+
+from . import determinism, errors, observability, simulation
+
+__all__ = ["determinism", "errors", "observability", "simulation"]

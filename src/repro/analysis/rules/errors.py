@@ -1,0 +1,67 @@
+"""ERR rules: error-handling discipline in sim-critical code.
+
+ERR001  bare ``except:`` / broad ``except ...: pass`` swallowing
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Rule, register_rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+@register_rule
+class SilentExceptRule(Rule):
+    """ERR001: in the simulator a swallowed exception does not just lose
+    a log line — it leaves half-updated metadata (a dirty flag cleared
+    but bytes not copied, a grant held forever) that corrupts *later*
+    results while the run appears to succeed.  Failures must propagate
+    (the engine escalates unjoined crashes) or be handled narrowly."""
+
+    code = "ERR001"
+    name = "no-silent-except"
+    rationale = (
+        "bare/broad except-pass hides simulation failures and leaves "
+        "partial state; catch the narrow exception or re-raise"
+    )
+    sim_only = True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare 'except:' catches everything including "
+                "ProcessKilled; name the exception type",
+            )
+        elif self._is_broad(node.type) and self._swallows(node.body):
+            self.report(
+                node,
+                "broad except clause silently swallows the failure; "
+                "handle it or let the engine surface the crash",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST) -> bool:
+        names = (
+            type_node.elts if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        return any(
+            isinstance(n, ast.Name) and n.id in _BROAD for n in names
+        )
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        """True when the handler body is only pass/``...`` statements."""
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in body
+        )

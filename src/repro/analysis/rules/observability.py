@@ -1,0 +1,123 @@
+"""OBS rules: span lifecycle discipline for the tracing layer.
+
+OBS001  root contexts / spans opened but never closed (span leak)
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from ..registry import Rule, register_rule
+
+#: Receiver names that identify the tracing API (``self.obs.request``,
+#: ``tracer.request`` ...) as opposed to unrelated ``.request`` methods.
+_TRACER_HINTS = ("obs", "tracer")
+
+
+def _is_tracer_receiver(func: ast.Attribute) -> bool:
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        tail = receiver.attr
+    elif isinstance(receiver, ast.Name):
+        tail = receiver.id
+    else:
+        return False
+    tail = tail.lower()
+    return any(hint in tail for hint in _TRACER_HINTS)
+
+
+@register_rule
+class SpanLeakRule(Rule):
+    """OBS001: a request context that is never ``finish``-ed (or a span
+    never ``end``-ed) stays open forever: the exporter reports it as
+    in-flight, latency breakdowns miss it, and the ``open_spans``
+    counter creeps — the tracing equivalent of a leaked file handle.
+
+    The tracing API is begin/finish rather than a context manager, so
+    the rule checks the moral equivalent of "created outside a
+    ``with``": a ``ctx = <obs|tracer>.request(...)`` must have
+    ``ctx.finish()`` in a ``finally`` block of the same function, and a
+    ``span = ctx.begin(...)`` must be passed to ``.end(span)``
+    somewhere in the same function."""
+
+    code = "OBS001"
+    name = "no-span-leak"
+    rationale = (
+        "request()/begin() without a finally-finish()/end() leaks an "
+        "open span when the process raises or is killed"
+    )
+
+    def _finished_names(self, fn: ast.AST) -> set[str]:
+        """Names with ``<name>.finish(...)`` inside a finally block."""
+        finished: set[str] = set()
+        for node in self.walk_scope(fn):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "finish"
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        finished.add(sub.func.value.id)
+        return finished
+
+    def _ended_names(self, fn: ast.AST) -> set[str]:
+        """Names appearing as an argument of some ``.end(...)`` call."""
+        ended: set[str] = set()
+        for node in self.walk_scope(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "end"
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        ended.add(arg.id)
+        return ended
+
+    def _check_function(self, fn: typing.Any) -> None:
+        finished = self._finished_names(fn)
+        ended = self._ended_names(fn)
+        for node in self.walk_scope(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+            ):
+                continue
+            if len(node.targets) != 1 or not isinstance(
+                node.targets[0], ast.Name
+            ):
+                continue
+            name = node.targets[0].id
+            if value.func.attr == "request" and _is_tracer_receiver(
+                value.func
+            ):
+                if name not in finished:
+                    self.report(
+                        value,
+                        f"trace context {name!r} has no finally-"
+                        f"{name}.finish(); the root span leaks if the "
+                        "process raises or is killed",
+                    )
+            elif value.func.attr == "begin":
+                if name not in ended:
+                    self.report(
+                        value,
+                        f"span {name!r} is begun but never passed to "
+                        ".end(); it will be reported as open forever",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)

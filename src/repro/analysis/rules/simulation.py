@@ -1,0 +1,160 @@
+"""SIM rules: resource and scheduling discipline inside the simulator.
+
+SIM001  resource acquired without a try/finally release
+SIM002  events scheduled with a negative delay literal
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from ..registry import Rule, register_rule
+
+
+def _acquire_call(value: ast.AST) -> ast.Call | None:
+    """The ``<expr>.acquire(...)`` call inside ``value``, if that is
+    what the expression is (possibly behind ``yield`` / ``yield from``)."""
+    if isinstance(value, (ast.Yield, ast.YieldFrom)) and value.value is not None:
+        value = value.value
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "acquire"
+    ):
+        return value
+    return None
+
+
+def _released_names(fn: ast.AST, walk) -> set[str]:
+    """Names released inside some ``finally`` block of ``fn``."""
+    released: set[str] = set()
+    for node in walk(fn):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                    and sub.args
+                    and isinstance(sub.args[0], ast.Name)
+                ):
+                    released.add(sub.args[0].id)
+    return released
+
+
+@register_rule
+class AcquireWithoutFinallyRule(Rule):
+    """SIM001: a process that acquires a slot and raises (or is killed)
+    before releasing it wedges the resource for the rest of the run —
+    the classic source of phantom deadlocks in DES code.  Every acquire
+    needs its release in a ``finally``."""
+
+    code = "SIM001"
+    name = "acquire-needs-finally-release"
+    rationale = (
+        "a killed/crashed process that holds a grant leaks the slot "
+        "forever; release must sit in a finally block"
+    )
+
+    _MESSAGE = (
+        "resource acquired {how} a finally-release for {name!r}; "
+        "wrap the critical section in try/finally"
+    )
+
+    def _check_function(self, fn: typing.Any) -> None:
+        released = _released_names(fn, self.walk_scope)
+        for node in self.walk_scope(fn):
+            if isinstance(node, ast.Assign):
+                call = _acquire_call(node.value)
+                if call is None:
+                    continue
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    name = node.targets[0].id
+                    if name not in released:
+                        self.report(
+                            call,
+                            self._MESSAGE.format(how="without", name=name),
+                        )
+                else:
+                    self.report(
+                        call,
+                        "acquire result bound to a non-name target; "
+                        "bind the grant to a local and release it in "
+                        "a finally block",
+                    )
+            elif isinstance(node, ast.Expr):
+                call = _acquire_call(node.value)
+                if call is not None:
+                    self.report(
+                        call,
+                        "acquire result discarded — the grant can never "
+                        "be released",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+#: callable-name -> index of the positional delay argument.
+_DELAY_POSITIONS = {
+    "timeout": 0,
+    "_schedule": 1,
+    "succeed": 1,
+    "fail": 1,
+}
+
+
+def _negative_literal(node: ast.AST | None) -> bool:
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+        and node.operand.value > 0
+    )
+
+
+@register_rule
+class NegativeDelayRule(Rule):
+    """SIM002: scheduling into the past either raises at runtime
+    (``Simulator._schedule`` guards it) or, worse, would reorder the
+    event heap.  A negative delay literal is always a bug."""
+
+    code = "SIM002"
+    name = "no-negative-delay"
+    rationale = (
+        "timeout()/succeed()/fail() with a negative delay schedules "
+        "into the past; the engine rejects it at runtime"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        position = _DELAY_POSITIONS.get(name or "")
+        if position is not None:
+            delay: ast.AST | None = None
+            if len(node.args) > position:
+                delay = node.args[position]
+            for kw in node.keywords:
+                if kw.arg == "delay":
+                    delay = kw.value
+            if _negative_literal(delay):
+                self.report(
+                    node,
+                    f"negative delay literal passed to {name}(); events "
+                    "cannot be scheduled into the past",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,58 @@
+"""Inline suppression comments.
+
+Two forms, mirroring ``noqa`` but with an audit-friendly spelling:
+
+``# simlint: disable=DET001``
+    Suppresses the listed codes on that physical line.  Put it on the
+    line that the finding reports (for a multi-line call, the line the
+    expression starts on).
+
+``# simlint: disable-file=SIM001,OBS001``
+    Suppresses the listed codes for the whole file.  ``all`` disables
+    every rule (reserve for generated code).
+
+Comments are matched textually per line; a suppression spelled inside
+a string literal would also count, which is acceptable for a lint
+helper and keeps the scanner trivially fast.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+_DISABLE = re.compile(
+    r"#\s*simlint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+class Suppressions:
+    """Parsed suppression directives of one source file."""
+
+    def __init__(self, source: str):
+        #: line number (1-based) -> set of codes disabled on that line.
+        self.by_line: dict[int, set[str]] = {}
+        #: codes disabled for the entire file ("all" disables any code).
+        self.file_wide: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "simlint" not in line:
+                continue
+            match = _DISABLE.search(line)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            if match.group("scope") == "disable-file":
+                self.file_wide |= codes
+            else:
+                self.by_line.setdefault(lineno, set()).update(codes)
+
+    def suppresses(self, finding: Finding) -> bool:
+        if "ALL" in self.file_wide or finding.code in self.file_wide:
+            return True
+        return finding.code in self.by_line.get(finding.line, set())

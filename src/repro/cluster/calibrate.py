@@ -94,7 +94,8 @@ def _measure_stream_beta(spec: ClusterSpec, device_kind: str):
         sim, pfs, client = _one_server_stack(spec, device_kind)
         handle = pfs.create("/probe", (reps + 2) * chunk)
 
-        def body():
+        # Defaults bind the per-iteration objects (ruff B023).
+        def body(op=op, sim=sim, client=client, handle=handle):
             # Warm-up positions the head; measure the steady tail.
             yield from _io(client, op, handle, 0, chunk)
             start = sim.now
@@ -116,7 +117,9 @@ def _measure_probe_beta(spec: ClusterSpec, device_kind: str, probe_size: int):
         rng = sim.rng.stream("calibrate:probe")
         span = (reps + 1) * probe_size
 
-        def body():
+        # Defaults bind the per-iteration objects (ruff B023).
+        def body(op=op, sim=sim, client=client, handle=handle,
+                 rng=rng, span=span):
             start = sim.now
             for _ in range(reps):
                 offset = rng.randrange(0, span // probe_size) * probe_size

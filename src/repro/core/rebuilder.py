@@ -11,6 +11,12 @@ All reorganisation I/O is *low priority* so it yields to application
 requests (§III.F: "Rebuilder issues low-priority I/O requests for the
 reorganization to reduce the interference").
 
+Resource discipline (simlint SIM001 audit): the Rebuilder holds no
+device grants itself — the PFS clients acquire and finally-release
+queue slots on its behalf — but cache-space reservations follow the
+same rule: every ``space.find_*`` allocation is released on the
+kill/stale paths before the extent is published to the DMT.
+
 §IV.C implements this as one helper thread per MPI process; here a
 single simulated process per middleware instance does the same work —
 the serialisation difference only matters for reorganisation
@@ -286,6 +292,12 @@ class Rebuilder:
                     allocation.c_file, allocation.c_offset, allocation.length
                 )
                 raise
+            finally:
+                # Without this, every lazy fetch left its root span
+                # open (simlint OBS001): the trace reported rebuilder
+                # I/O as eternally in-flight and the open_spans
+                # counter grew with every cycle.
+                ctx.finish()
             # Re-check after the timed I/O: a foreground write may have
             # mapped (part of) this range meanwhile — its data is newer,
             # keep it and discard the fetched copy.

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-import typing
 
 from ..errors import ExperimentError
 from ..units import MiB

@@ -12,7 +12,7 @@ the SSD tier absorbs the random first-pass traffic RAM cannot hold.
 
 from __future__ import annotations
 
-from ..cluster import build_cluster, run_workload
+from ..cluster import build_cluster
 from ..core import MemoryCacheLayer
 from ..units import KiB, MiB
 from ..workloads import IORWorkload

@@ -113,7 +113,10 @@ class TimeoutLock:
     def acquire(self, key: str, owner: str = ""):
         """Process generator returning the token or raising LockTimeout."""
         sim = self.manager.sim
-        lock_event = self.manager.acquire(key, owner)
+        # No try/finally here: on timeout the grant is either handed
+        # back (granted same-instant) or cancelled below, and on grant
+        # the *caller* owns the token and must release it.
+        lock_event = self.manager.acquire(key, owner)  # simlint: disable=SIM001
         deadline = sim.timeout(self.budget)
         index, value = yield sim.any_of([lock_event, deadline])
         if index == 0:

@@ -277,7 +277,7 @@ class OSCache:
             head = getattr(self.device, "head_position", None) or 0
             index = min(
                 range(len(self._dirty_runs)),
-                key=lambda i: abs(self._dirty_runs[i][0] - head),
+                key=lambda i, head=head: abs(self._dirty_runs[i][0] - head),
             )
             run = self._dirty_runs[index]
             start = run[0]

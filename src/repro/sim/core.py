@@ -25,7 +25,11 @@ class Simulator:
         self.rng = RandomStreams(seed)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self._next_pid = 0
         self._active_process: Process | None = None
+        #: Crashed-but-unjoined processes, keyed by their monotonic
+        #: ``pid`` — never by ``id()``, which is an allocator address
+        #: and differs across runs (DET004).
         self._crashed: dict[int, BaseException] = {}
 
     # -- event creation helpers -----------------------------------------
@@ -56,8 +60,13 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
+    def _next_process_id(self) -> int:
+        """Monotonic process id, assigned in spawn order (deterministic)."""
+        self._next_pid += 1
+        return self._next_pid
+
     def _note_crash(self, process: Process, exc: BaseException) -> None:
-        self._crashed[id(process)] = exc
+        self._crashed[process.pid] = exc
 
     # -- running -----------------------------------------------------------
     def step(self) -> None:
@@ -71,9 +80,9 @@ class Simulator:
         event._process()
         # A crashed process with no joiner is an unhandled simulation
         # error: surface it instead of silently dropping the failure.
-        crash = self._crashed.pop(id(event), None)
-        if crash is not None and isinstance(event, Process):
-            if not event._had_joiners:
+        if isinstance(event, Process):
+            crash = self._crashed.pop(event.pid, None)
+            if crash is not None and not event._had_joiners:
                 raise crash
 
     def run(self, until: float | None = None) -> float:

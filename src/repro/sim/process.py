@@ -30,7 +30,7 @@ class Process(Event):
     :class:`~repro.errors.ProcessKilled` into the generator.
     """
 
-    __slots__ = ("body", "name", "_waiting_on", "_started")
+    __slots__ = ("body", "name", "pid", "_waiting_on", "_started")
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
         if not hasattr(body, "send"):
@@ -40,6 +40,9 @@ class Process(Event):
         super().__init__(sim)
         self.body = body
         self.name = name or getattr(body, "__name__", "process")
+        #: Monotonic spawn-order id; the deterministic identity used
+        #: for crash bookkeeping (an ``id()`` key would vary by run).
+        self.pid = sim._next_process_id()
         self._waiting_on: Event | None = None
         self._started = False
         # Kick off the generator at the current simulation time via an

@@ -75,7 +75,12 @@ class PriorityResource:
         return len(self._waiters)
 
     def acquire(self, priority: int = PRIORITY_NORMAL) -> Grant:
-        """Request a slot; returns a :class:`Grant` event to yield on."""
+        """Request a slot; returns a :class:`Grant` event to yield on.
+
+        Callers must release the grant in a ``finally`` block (simlint
+        SIM001 enforces this tree-wide): a process killed while holding
+        a slot would otherwise wedge the resource for the whole run.
+        """
         grant = Grant(self, priority)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1

@@ -1,0 +1,79 @@
+"""The ``python -m repro lint`` command-line interface."""
+
+import json
+
+from repro.analysis.cli import main
+
+DIRTY = "import time\n\ndef f():\n    return time.time()\n"
+CLEAN = "def f(sim):\n    return sim.now\n"
+
+
+def _tree(tmp_path, source):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(source)
+    return tmp_path
+
+
+def test_exit_zero_and_summary_on_clean_tree(tmp_path, capsys):
+    root = _tree(tmp_path, CLEAN)
+    code = main(["--root", str(root), str(root / "src")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 file checked, clean" in out
+
+
+def test_exit_one_and_text_findings_on_dirty_tree(tmp_path, capsys):
+    root = _tree(tmp_path, DIRTY)
+    code = main(["--root", str(root), str(root / "src")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "mod.py:4:" in out
+
+
+def test_json_output_shape(tmp_path, capsys):
+    root = _tree(tmp_path, DIRTY)
+    code = main(
+        ["--root", str(root), "--format", "json", str(root / "src")]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["counts_by_code"] == {"DET001": 1}
+    (finding,) = payload["findings"]
+    assert finding["code"] == "DET001"
+    assert finding["path"].endswith("mod.py")
+    assert finding["line"] == 4
+
+
+def test_select_and_ignore_flags(tmp_path):
+    root = _tree(tmp_path, DIRTY)
+    args = ["--root", str(root), str(root / "src")]
+    assert main([*args, "--select", "DET002"]) == 0
+    assert main([*args, "--ignore", "det001"]) == 0
+    assert main([*args, "--select", "DET001"]) == 1
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["--root", str(tmp_path), str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in (
+        "DET001", "DET002", "DET003", "DET004",
+        "SIM001", "SIM002", "OBS001", "ERR001",
+    ):
+        assert code in out
+
+
+def test_pyproject_allowlist_honoured(tmp_path, capsys):
+    root = _tree(tmp_path, DIRTY)
+    (root / "pyproject.toml").write_text(
+        "[tool.simlint.allow]\nDET001 = [\"src/repro/sim/*\"]\n"
+    )
+    assert main(["--root", str(root), str(root / "src")]) == 0
+    assert "clean" in capsys.readouterr().out

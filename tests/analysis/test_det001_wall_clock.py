@@ -1,0 +1,91 @@
+"""DET001: wall-clock reads are nondeterministic."""
+
+from repro.analysis import LintConfig
+
+from .util import codes, lint_snippet
+
+
+def test_time_time_flagged():
+    findings = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert codes(findings) == ["DET001"]
+    assert "time.time()" in findings[0].message
+
+
+def test_perf_counter_and_monotonic_flagged():
+    findings = lint_snippet(
+        """
+        import time
+
+        def laps():
+            return time.perf_counter(), time.monotonic()
+        """
+    )
+    assert codes(findings) == ["DET001", "DET001"]
+
+
+def test_from_import_alias_resolved():
+    findings = lint_snippet(
+        """
+        from time import perf_counter as pc
+
+        def lap():
+            return pc()
+        """
+    )
+    assert codes(findings) == ["DET001"]
+
+
+def test_datetime_now_flagged():
+    findings = lint_snippet(
+        """
+        from datetime import datetime
+
+        def when():
+            return datetime.now()
+        """
+    )
+    assert codes(findings) == ["DET001"]
+
+
+def test_sim_clock_not_flagged():
+    findings = lint_snippet(
+        """
+        def elapsed(sim, start):
+            return sim.now - start
+        """
+    )
+    assert findings == []
+
+
+def test_unrelated_time_attribute_not_flagged():
+    findings = lint_snippet(
+        """
+        import time
+
+        def pause(sim):
+            return time.sleep  # referenced, not a wall-clock read
+        """
+    )
+    assert findings == []
+
+
+def test_allowlisted_path_exempt():
+    config = LintConfig(allow={"DET001": ("*/obs/tracer.py",)})
+    findings = lint_snippet(
+        """
+        import time
+
+        def overhead():
+            return time.perf_counter()
+        """,
+        rel_path="src/repro/obs/tracer.py",
+        config=config,
+    )
+    assert findings == []

@@ -1,0 +1,78 @@
+"""DET002: global random / numpy.random default-generator use."""
+
+from .util import codes, lint_snippet
+
+
+def test_global_random_draw_flagged():
+    findings = lint_snippet(
+        """
+        import random
+
+        def jitter():
+            return random.random() * 0.5
+        """
+    )
+    assert codes(findings) == ["DET002"]
+
+
+def test_global_seed_and_shuffle_flagged():
+    findings = lint_snippet(
+        """
+        import random
+
+        def setup(items):
+            random.seed(0)
+            random.shuffle(items)
+        """
+    )
+    assert codes(findings) == ["DET002", "DET002"]
+
+
+def test_numpy_global_generator_flagged():
+    findings = lint_snippet(
+        """
+        import numpy as np
+
+        def noise(n):
+            np.random.seed(1)
+            return np.random.rand(n)
+        """
+    )
+    assert codes(findings) == ["DET002", "DET002"]
+
+
+def test_seeded_instances_not_flagged():
+    findings = lint_snippet(
+        """
+        import random
+        import numpy as np
+
+        def make(seed):
+            return random.Random(seed), np.random.default_rng(seed)
+        """
+    )
+    assert findings == []
+
+
+def test_named_stream_use_not_flagged():
+    findings = lint_snippet(
+        """
+        def sample(sim):
+            rng = sim.rng.stream("hdd-rotation")
+            return rng.random()
+        """
+    )
+    assert findings == []
+
+
+def test_rng_module_allowlisted_by_default():
+    findings = lint_snippet(
+        """
+        import random
+
+        def bootstrap():
+            random.seed(7)
+        """,
+        rel_path="src/repro/sim/rng.py",
+    )
+    assert findings == []

@@ -1,0 +1,79 @@
+"""DET003: unordered-collection iteration in sim-critical packages."""
+
+from .util import PLAIN_PATH, SIM_PATH, codes, lint_snippet
+
+
+def test_for_over_set_call_flagged():
+    findings = lint_snippet(
+        """
+        def drain(items):
+            for item in set(items):
+                item.close()
+        """
+    )
+    assert codes(findings) == ["DET003"]
+
+
+def test_for_over_set_literal_flagged():
+    findings = lint_snippet(
+        """
+        def visit(a, b):
+            for item in {a, b}:
+                item.touch()
+        """
+    )
+    assert codes(findings) == ["DET003"]
+
+
+def test_comprehension_over_set_flagged():
+    findings = lint_snippet(
+        """
+        def names(servers):
+            return [s.name for s in frozenset(servers)]
+        """
+    )
+    assert codes(findings) == ["DET003"]
+
+
+def test_list_of_set_flagged():
+    findings = lint_snippet(
+        """
+        def freeze(items):
+            return list(set(items))
+        """
+    )
+    assert codes(findings) == ["DET003"]
+
+
+def test_plain_popitem_flagged_ordered_popitem_not():
+    findings = lint_snippet(
+        """
+        def evict(cache, lru):
+            cache.popitem()
+            lru.popitem(last=False)
+        """
+    )
+    assert codes(findings) == ["DET003"]
+    assert findings[0].line == 3
+
+
+def test_sorted_set_not_flagged():
+    findings = lint_snippet(
+        """
+        def drain(items):
+            for item in sorted(set(items)):
+                item.close()
+        """
+    )
+    assert findings == []
+
+
+def test_rule_is_scoped_to_sim_packages():
+    snippet = """
+    def drain(items):
+        for item in set(items):
+            item.close()
+    """
+    assert codes(lint_snippet(snippet, rel_path=SIM_PATH)) == ["DET003"]
+    assert lint_snippet(snippet, rel_path=PLAIN_PATH) == []
+    assert lint_snippet(snippet, rel_path="tests/sim/test_x.py") == []

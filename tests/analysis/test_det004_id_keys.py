@@ -1,0 +1,73 @@
+"""DET004: id() as a key, membership probe, or sort tie-breaker."""
+
+from .util import codes, lint_snippet
+
+
+def test_id_subscript_key_flagged():
+    findings = lint_snippet(
+        """
+        def note(crashed, process, exc):
+            crashed[id(process)] = exc
+        """
+    )
+    assert codes(findings) == ["DET004"]
+
+
+def test_id_in_dict_method_key_flagged():
+    findings = lint_snippet(
+        """
+        def take(crashed, event):
+            return crashed.pop(id(event), None)
+        """
+    )
+    assert codes(findings) == ["DET004"]
+
+
+def test_id_dict_literal_key_flagged():
+    findings = lint_snippet(
+        """
+        def index(a, b):
+            return {id(a): a, id(b): b}
+        """
+    )
+    assert codes(findings) == ["DET004", "DET004"]
+
+
+def test_id_membership_probe_flagged():
+    findings = lint_snippet(
+        """
+        def seen_before(seen, obj):
+            return id(obj) in seen
+        """
+    )
+    assert codes(findings) == ["DET004"]
+
+
+def test_id_sort_key_flagged():
+    findings = lint_snippet(
+        """
+        def order(procs):
+            return sorted(procs, key=lambda p: id(p))
+        """
+    )
+    assert codes(findings) == ["DET004"]
+
+
+def test_debug_repr_id_not_flagged():
+    findings = lint_snippet(
+        """
+        def describe(res):
+            return f"<Resource {id(res)}>"
+        """
+    )
+    assert findings == []
+
+
+def test_sequence_id_not_flagged():
+    findings = lint_snippet(
+        """
+        def note(crashed, process, exc):
+            crashed[process.pid] = exc
+        """
+    )
+    assert findings == []

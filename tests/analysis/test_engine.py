@@ -1,0 +1,151 @@
+"""Engine behaviour: suppressions, config, registry, parse errors."""
+
+import pytest
+
+from repro.analysis import LintConfig, RULES, Rule, register_rule
+from repro.analysis.config import load_config
+from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.findings import PARSE_ERROR
+from repro.analysis.suppressions import Suppressions
+
+from .util import codes, lint_snippet
+
+
+def test_parse_error_reported_as_finding():
+    findings = lint_source("def broken(:\n", "src/repro/sim/x.py")
+    assert codes(findings) == [PARSE_ERROR]
+    assert "syntax error" in findings[0].message
+
+
+def test_inline_disable_is_line_scoped():
+    findings = lint_snippet(
+        """
+        import time
+
+        def stamps():
+            a = time.time()  # simlint: disable=DET001
+            b = time.time()
+            return a, b
+        """
+    )
+    assert codes(findings) == ["DET001"]
+    assert findings[0].line == 6
+
+
+def test_file_wide_disable():
+    findings = lint_snippet(
+        """
+        # simlint: disable-file=DET001
+        import time
+
+        def stamps():
+            return time.time(), time.perf_counter()
+        """
+    )
+    assert findings == []
+
+
+def test_disable_all_sentinel():
+    source = "# simlint: disable-file=all\nimport time\nx = time.time()\n"
+    assert lint_source(source, "src/repro/sim/x.py") == []
+
+
+def test_suppression_parsing():
+    sup = Suppressions(
+        "x = 1  # simlint: disable=DET001, det002\n"
+        "# simlint: disable-file=SIM001\n"
+    )
+    assert sup.by_line == {1: {"DET001", "DET002"}}
+    assert sup.file_wide == {"SIM001"}
+
+
+def test_select_and_ignore():
+    snippet = """
+    import time
+
+    def f(crashed, p):
+        crashed[id(p)] = time.time()
+    """
+    both = lint_snippet(snippet)
+    assert sorted(codes(both)) == ["DET001", "DET004"]
+    only_det4 = lint_snippet(
+        snippet, config=LintConfig(select=frozenset({"DET004"}))
+    )
+    assert codes(only_det4) == ["DET004"]
+    no_det4 = lint_snippet(
+        snippet, config=LintConfig(ignore=frozenset({"DET004"}))
+    )
+    assert codes(no_det4) == ["DET001"]
+
+
+def test_registry_rejects_duplicate_codes():
+    @register_rule
+    class Probe(Rule):
+        code = "TST901"
+        name = "probe"
+        rationale = "test-only"
+
+    try:
+        with pytest.raises(ValueError, match="duplicate rule code"):
+            @register_rule
+            class Clash(Rule):
+                code = "TST901"
+                name = "clash"
+                rationale = "test-only"
+    finally:
+        RULES.pop("TST901", None)
+
+
+def test_custom_rule_runs_through_engine():
+    @register_rule
+    class NoGlobals(Rule):
+        code = "TST902"
+        name = "no-global-statement"
+        rationale = "test-only"
+
+        def visit_Global(self, node):
+            self.report(node, "global statement")
+
+    try:
+        findings = lint_snippet(
+            """
+            def f():
+                global x
+                x = 1
+            """
+        )
+        assert "TST902" in codes(findings)
+    finally:
+        RULES.pop("TST902", None)
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\n"
+        'sim-packages = ["sim"]\n'
+        'ignore = ["DET004"]\n'
+        "[tool.simlint.allow]\n"
+        'DET001 = ["legacy/*"]\n'
+    )
+    config = load_config(tmp_path)
+    assert config.sim_packages == ("sim",)
+    assert "DET004" in config.ignore
+    # Explicit allows merge with (not replace) the built-in defaults.
+    assert config.allowed("DET001", "legacy/old.py")
+    assert config.allowed("DET001", "src/repro/obs/tracer.py")
+    assert not config.is_sim_critical("src/repro/core/x.py")
+    assert config.is_sim_critical("src/repro/sim/x.py")
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text("def f(sim):\n    return sim.now\n")
+    (pkg / "dirty.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert report.files_checked == 2
+    assert codes(report.findings) == ["DET001"]
+    assert report.findings[0].path == "src/repro/sim/dirty.py"
+    assert report.counts_by_code() == {"DET001": 1}

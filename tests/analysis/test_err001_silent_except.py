@@ -1,0 +1,81 @@
+"""ERR001: bare / broad exception swallowing in sim-critical code."""
+
+from .util import PLAIN_PATH, codes, lint_snippet
+
+
+def test_bare_except_flagged():
+    findings = lint_snippet(
+        """
+        def step(engine):
+            try:
+                engine.advance()
+            except:
+                pass
+        """
+    )
+    assert codes(findings) == ["ERR001"]
+
+
+def test_broad_except_pass_flagged():
+    findings = lint_snippet(
+        """
+        def step(engine):
+            try:
+                engine.advance()
+            except Exception:
+                pass
+        """
+    )
+    assert codes(findings) == ["ERR001"]
+
+
+def test_broad_except_ellipsis_flagged():
+    findings = lint_snippet(
+        """
+        def step(engine):
+            try:
+                engine.advance()
+            except BaseException:
+                ...
+        """
+    )
+    assert codes(findings) == ["ERR001"]
+
+
+def test_narrow_except_pass_not_flagged():
+    findings = lint_snippet(
+        """
+        def lookup(table, key):
+            try:
+                return table[key]
+            except KeyError:
+                pass
+            return None
+        """
+    )
+    assert findings == []
+
+
+def test_broad_except_with_handling_not_flagged():
+    findings = lint_snippet(
+        """
+        def step(engine, log):
+            try:
+                engine.advance()
+            except Exception as exc:
+                log.append(exc)
+                raise
+        """
+    )
+    assert findings == []
+
+
+def test_rule_scoped_to_sim_packages():
+    snippet = """
+    def step(engine):
+        try:
+            engine.advance()
+        except:
+            pass
+    """
+    assert lint_snippet(snippet, rel_path=PLAIN_PATH) == []

@@ -1,0 +1,79 @@
+"""OBS001: trace contexts / spans opened but never closed."""
+
+from .util import codes, lint_snippet
+
+
+def test_request_without_finally_finish_flagged():
+    findings = lint_snippet(
+        """
+        def read_at(self, offset, size):
+            ctx = self.layer.obs.request(0, "read", "/f", offset, size)
+            result = yield from self.layer.io(ctx=ctx)
+            ctx.finish()
+            return result
+        """
+    )
+    assert codes(findings) == ["OBS001"]
+
+
+def test_request_with_finally_finish_not_flagged():
+    findings = lint_snippet(
+        """
+        def read_at(self, offset, size):
+            ctx = self.layer.obs.request(0, "read", "/f", offset, size)
+            try:
+                result = yield from self.layer.io(ctx=ctx)
+            finally:
+                ctx.finish()
+            return result
+        """
+    )
+    assert findings == []
+
+
+def test_tracer_receiver_also_matched():
+    findings = lint_snippet(
+        """
+        def probe(tracer):
+            ctx = tracer.request(0, "read", "/f", 0, 1)
+            return ctx
+        """
+    )
+    assert codes(findings) == ["OBS001"]
+
+
+def test_unrelated_request_method_not_flagged():
+    findings = lint_snippet(
+        """
+        def fetch(session, url):
+            response = session.request("GET", url)
+            return response
+        """
+    )
+    assert findings == []
+
+
+def test_begin_without_end_flagged():
+    findings = lint_snippet(
+        """
+        def serve(ctx, sim):
+            span = ctx.begin("service", cat="server", component="d0")
+            yield sim.timeout(1.0)
+        """
+    )
+    assert codes(findings) == ["OBS001"]
+    assert "'span'" in findings[0].message
+
+
+def test_begin_with_end_not_flagged():
+    findings = lint_snippet(
+        """
+        def serve(ctx, sim):
+            span = ctx.begin("service", cat="server", component="d0")
+            try:
+                yield sim.timeout(1.0)
+            finally:
+                ctx.end(span)
+        """
+    )
+    assert findings == []

@@ -1,0 +1,47 @@
+"""The repository must lint clean — the invariant CI enforces.
+
+If one of these fails, either a hazard was introduced (fix it) or it
+is a sanctioned exception (inline ``# simlint: disable=CODE`` with a
+justification, or a ``[tool.simlint.allow]`` entry — see
+CONTRIBUTING.md).
+"""
+
+import pathlib
+
+from repro.analysis import load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_lint_clean():
+    config = load_config(REPO_ROOT)
+    report = lint_paths([REPO_ROOT / "src"], config, root=REPO_ROOT)
+    assert report.files_checked > 80  # the whole package, not a subset
+    assert [f.format_text() for f in report.findings] == []
+
+
+def test_cli_exits_zero_on_src_and_tests():
+    code = main(
+        [
+            "--root", str(REPO_ROOT),
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+        ]
+    )
+    assert code == 0
+
+
+def test_seeded_violation_turns_the_build_red(tmp_path):
+    """End-to-end guard: a fresh hazard anywhere under a linted tree
+    must flip the exit code (the property the CI step relies on)."""
+    bad = tmp_path / "src" / "repro" / "sim" / "seeded.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import time\n\n"
+        "def stamp(crashed, p):\n"
+        "    crashed[id(p)] = time.time()\n"
+    )
+    code = main(["--root", str(tmp_path), str(tmp_path / "src")])
+    assert code == 1

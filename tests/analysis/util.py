@@ -1,0 +1,32 @@
+"""Shared helpers for the simlint rule tests.
+
+Every rule test lints a small in-memory snippet at a chosen virtual
+path (the path decides sim-criticality and allowlisting), then asserts
+on the reported codes.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import LintConfig
+from repro.analysis.engine import lint_source
+
+#: A path inside a sim-critical package (DET003/ERR001 fire here).
+SIM_PATH = "src/repro/sim/snippet.py"
+#: A path outside every sim-critical package.
+PLAIN_PATH = "src/repro/workloads/snippet.py"
+
+
+def lint_snippet(
+    source: str,
+    rel_path: str = SIM_PATH,
+    config: LintConfig | None = None,
+):
+    """Lint a dedented snippet; returns the findings list."""
+    return lint_source(textwrap.dedent(source), rel_path, config)
+
+
+def codes(findings) -> list[str]:
+    """The finding codes, in report order."""
+    return [f.code for f in findings]

@@ -8,7 +8,7 @@ from repro.cluster.calibrate import (
     _measure_stream_beta,
     calibrate_cost_params,
 )
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 
 def small_spec(**overrides):

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import WorkloadError
+
 from repro.cluster import ClusterSpec, run_workload
 from repro.units import KiB, MiB
 from repro.workloads import IORWorkload
@@ -52,9 +54,9 @@ def test_requests_per_rank_limits_volume():
 
 
 def test_requests_per_rank_validation():
-    with pytest.raises(Exception):
+    with pytest.raises(WorkloadError):
         IORWorkload(4, "16KB", "1MB", requests_per_rank=0)
-    with pytest.raises(Exception):
+    with pytest.raises(WorkloadError):
         IORWorkload(4, "16KB", "1MB", requests_per_rank=10**6)
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import ClusterSpec, build_cluster
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 
 
 def small_spec(**overrides):

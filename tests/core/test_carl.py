@@ -7,7 +7,7 @@ from repro.core import CARLPlacementLayer, CostModel, plan_placement
 from repro.core.carl import RegionPlan
 from repro.errors import ConfigError
 from repro.mpiio import MPIFile, MPIJob
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 from repro.workloads import IORWorkload, SyntheticMixWorkload
 
 

@@ -7,12 +7,11 @@ or how the DMT recovered from a crash.  Write stamps make this
 checkable byte-for-byte against a trivial dict model.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import ClusterSpec, build_cluster
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 BLOCK = 16 * KiB
 SPAN_BLOCKS = 64  # operate on a 1MB file region
@@ -133,7 +132,8 @@ def test_stock_and_s4d_agree_on_content(ops):
         stamp_to_opindex = {}
         reads = []
 
-        def body():
+        def body(layer=layer, stamp_to_opindex=stamp_to_opindex,
+                 reads=reads):
             from repro.mpiio import MPIFile
 
             f = yield from MPIFile.open(layer, 0, "/data", FILE_HINT)

@@ -6,11 +6,9 @@ including pathologically slow SSDs where caching is a net loss, and
 ultra-fast HDDs where nothing is ever critical.
 """
 
-import pytest
-
 from repro.cluster import ClusterSpec, build_cluster
 from repro.devices import HDDSpec, SSDSpec
-from repro.mpiio import MPIFile, MPIJob
+from repro.mpiio import MPIJob
 from repro.units import GiB, KiB, MiB
 
 

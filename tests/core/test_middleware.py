@@ -5,11 +5,8 @@ MPIFile handles — and verify routing, consistency and the Fig. 11
 pass-through behaviour.
 """
 
-import pytest
-
-from repro.errors import ProcessKilled
 from repro.mpiio import MPIFile, MPIJob
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 
 
 def run(cluster, body):

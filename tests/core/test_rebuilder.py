@@ -1,7 +1,5 @@
 """Tests for the Rebuilder: flush, fetch, priorities, interference."""
 
-import pytest
-
 from repro.mpiio import MPIFile
 from repro.units import KiB, MiB
 

@@ -8,8 +8,6 @@ double-frees of cache ranges.  Recovery is now middleware-level
 the persistent table, like a real restart.
 """
 
-import pytest
-
 from repro.cluster import ClusterSpec, build_cluster
 from repro.mpiio import MPIFile
 from repro.units import KiB

@@ -1,7 +1,5 @@
 """Tests for IOSIG-style tracing and analysis."""
 
-import pytest
-
 from repro.iosig import (
     TraceRecord,
     Tracer,

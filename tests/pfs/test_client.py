@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import PFSError
+
 from repro.devices import HDD, HDDSpec, SSD, SSDSpec
 from repro.network import Fabric, NetworkSpec
 from repro.pfs import PFS, FileServer, PFSClient, PFSSpec
@@ -171,7 +173,7 @@ def test_zero_size_request_rejected():
         yield from client.read(handle, 0, 0)
 
     sim.spawn(body())
-    with pytest.raises(Exception):
+    with pytest.raises(PFSError):
         sim.run()
 
 

@@ -41,7 +41,9 @@ def test_negative_schedule_rejected():
     sim = Simulator()
     ev = sim.event()
     with pytest.raises(SimulationError):
-        ev.succeed(delay=-1.0)
+        # The engine must reject past scheduling; this is the
+        # negative test for that guard.
+        ev.succeed(delay=-1.0)  # simlint: disable=SIM002
 
 
 def test_condition_value_collection_order():

@@ -75,7 +75,7 @@ def test_timeout_fires_at_right_time():
 def test_timeout_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(SimulationError):
-        sim.timeout(-1.0)
+        sim.timeout(-1.0)  # simlint: disable=SIM002
 
 
 def test_same_time_events_fire_in_schedule_order():

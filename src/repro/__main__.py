@@ -210,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -260,6 +264,12 @@ def main(argv: list[str] | None = None) -> int:
         "lint",
         help="simlint: determinism & simulation-safety static analysis "
              "(python -m repro lint src tests)",
+    )
+
+    sub.add_parser(
+        "bench",
+        help="perf microbenchmarks, BENCH_<rev>.json emission "
+             "(python -m repro bench --json)",
     )
 
     args = parser.parse_args(argv)

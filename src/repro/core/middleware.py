@@ -116,6 +116,9 @@ class S4DCacheMiddleware(IOLayer):
             fetch_budget=rebuild_budget,
         )
         self._open_files = 0
+        #: Interned per-rank lock-owner labels (avoids an f-string per
+        #: request on the metadata-lock hot path).
+        self._owner_names: dict[int, str] = {}
         #: Optional IOSIG tracer (set by the runner).
         self.tracer = None
 
@@ -175,24 +178,31 @@ class S4DCacheMiddleware(IOLayer):
         """§IV.B MPI_File_read / MPI_File_write."""
         if ctx is None:
             ctx = NULL_CONTEXT
+        traced = ctx is not NULL_CONTEXT
         start = self.sim.now
         # Identifier + Redirector bookkeeping costs (measured by Fig. 11).
-        id_span = ctx.begin("benefit_eval", cat="middleware",
-                            component="app", op=op)
+        if traced:
+            id_span = ctx.begin("benefit_eval", cat="middleware",
+                                component="app", op=op)
         yield self.sim.timeout(self.lookup_overhead)
         benefit, cdt_entry = self.identifier.observe(
             rank, handle.path, op, offset, size
         )
-        ctx.end(id_span, benefit=benefit, critical=cdt_entry is not None)
-        # Metadata decisions are serialised per file (§III.D's DMT
-        # lock) — or per (file, offset-shard) when distributed
-        # metadata is enabled.
-        wait_span = ctx.begin("metadata_wait", cat="middleware",
-                              component="app")
+        if traced:
+            ctx.end(id_span, benefit=benefit, critical=cdt_entry is not None)
+            # Metadata decisions are serialised per file (§III.D's DMT
+            # lock) — or per (file, offset-shard) when distributed
+            # metadata is enabled.
+            wait_span = ctx.begin("metadata_wait", cat="middleware",
+                                  component="app")
+        owner = self._owner_names.get(rank)
+        if owner is None:
+            owner = self._owner_names[rank] = f"rank{rank}"
         token = yield self.locks.acquire(
-            self._lock_key(handle.path, offset), owner=f"rank{rank}"
+            self._lock_key(handle.path, offset), owner=owner
         )
-        ctx.end(wait_span)
+        if traced:
+            ctx.end(wait_span)
         try:
             plan = self.redirector.route(
                 op,
@@ -205,13 +215,15 @@ class S4DCacheMiddleware(IOLayer):
             )
             if plan.metadata_mutations:
                 # Synchronous DMT persistence (§III.D).
-                sync_span = ctx.begin("metadata_sync", cat="middleware",
-                                      component="app",
-                                      mutations=plan.metadata_mutations)
+                if traced:
+                    sync_span = ctx.begin("metadata_sync", cat="middleware",
+                                          component="app",
+                                          mutations=plan.metadata_mutations)
                 yield self.sim.timeout(
                     plan.metadata_mutations * self.metadata_sync_cost
                 )
-                ctx.end(sync_span)
+                if traced:
+                    ctx.end(sync_span)
         finally:
             self.locks.release(token)
 
@@ -248,22 +260,30 @@ class S4DCacheMiddleware(IOLayer):
         c_handle = self.cpfs.open(self.cache_path(handle.path))
         stamp = next_stamp() if plan.op == OP_WRITE else None
 
-        exec_span = ctx.begin("execute", cat="middleware", component="app",
-                              steps=len(plan.steps))
+        exec_span = None
+        if ctx is not NULL_CONTEXT:
+            exec_span = ctx.begin("execute", cat="middleware",
+                                  component="app", steps=len(plan.steps))
         exec_ctx = ctx.under(exec_span)
+        flow_name = "s4d:" + plan.op
         flows = [
             self.sim.spawn(
                 self._step_flow(rank, d_handle, c_handle, plan.op, step,
                                 stamp, priority, exec_ctx),
-                name=f"s4d:{plan.op}:{step.target}",
+                name=flow_name,
             )
             for step in plan.steps
         ]
         try:
             step_results = yield self.sim.all_of(flows)
         finally:
-            ctx.end(exec_span)
+            if exec_span is not None:
+                ctx.end(exec_span)
 
+        servers_touched = 0
+        for r in step_results:
+            if r.servers_touched > servers_touched:
+                servers_touched = r.servers_touched
         result = IOResult(
             op=plan.op,
             path=handle.path,
@@ -271,9 +291,7 @@ class S4DCacheMiddleware(IOLayer):
             size=size,
             start_time=start,
             end_time=self.sim.now,
-            servers_touched=max(
-                (r.servers_touched for r in step_results), default=0
-            ),
+            servers_touched=servers_touched,
             stamp=stamp,
         )
         if plan.op == OP_WRITE:
@@ -285,9 +303,11 @@ class S4DCacheMiddleware(IOLayer):
     def _step_flow(self, rank, d_handle, c_handle, op, step: RouteStep,
                    stamp, priority, ctx=NULL_CONTEXT):
         """One segment's I/O on its target file system."""
-        span = ctx.begin(f"segment:{step.target}", cat="middleware",
-                         component="app", size=step.size)
-        ctx = ctx.under(span)
+        span = None
+        if ctx is not NULL_CONTEXT:
+            span = ctx.begin(f"segment:{step.target}", cat="middleware",
+                             component="app", size=step.size)
+            ctx = ctx.under(span)
         try:
             if step.target == TO_CSERVERS:
                 client = self.cpfs_client_for(rank)
@@ -312,7 +332,8 @@ class S4DCacheMiddleware(IOLayer):
                         d_handle, step.d_offset, step.size, priority, ctx=ctx
                     )
         finally:
-            ctx.end(span)
+            if span is not None:
+                ctx.end(span)
         return result
 
     @staticmethod

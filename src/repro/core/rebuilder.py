@@ -217,6 +217,8 @@ class Rebuilder:
         )
         if extent.dirty_epoch == epoch:
             self.dmt.set_dirty(extent, False)
+            # The now-clean extent is a fresh eviction candidate.
+            self.space.invalidate_evictable()
         self.metrics.flushes += 1
         self.metrics.flushed_bytes += extent.length
 
@@ -229,9 +231,12 @@ class Rebuilder:
         the DServer reads stream instead of seeking.
         """
         spent = 0
+        # One total-order sort (the trailing _seq reproduces exactly
+        # what sorting pending_fetches()' (-benefit, _seq) output by
+        # the first three keys gave via stability).
         pending = sorted(
-            self.cdt.pending_fetches(),
-            key=lambda e: (-e.benefit, e.d_file, e.d_offset),
+            self.cdt.pending_fetch_entries(),
+            key=lambda e: (-e.benefit, e.d_file, e.d_offset, e._seq),
         )
 
         def fetch_and_clear(entry):
@@ -301,8 +306,7 @@ class Rebuilder:
             # Re-check after the timed I/O: a foreground write may have
             # mapped (part of) this range meanwhile — its data is newer,
             # keep it and discard the fetched copy.
-            fresh = self.dmt.lookup(entry.d_file, seg_start, seg_size)
-            if any(v is not None for _, _, v in fresh):
+            if self.dmt.overlaps(entry.d_file, seg_start, seg_size):
                 self.space.release(
                     allocation.c_file, allocation.c_offset, allocation.length
                 )

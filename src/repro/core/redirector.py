@@ -67,6 +67,9 @@ class RoutePlan:
     steps: list[RouteStep]
     #: Number of DMT/CDT mutations performed (for metadata-cost charging).
     metadata_mutations: int = 0
+    #: The space manager whose victim-scan cache must learn when a
+    #: pin drop makes an extent evictable again (set by route()).
+    space: CacheSpace | None = None
     _released: bool = False
 
     @property
@@ -82,9 +85,15 @@ class RoutePlan:
         if self._released:
             return
         self._released = True
+        unpinned = False
         for step in self.steps:
-            if step.extent is not None:
-                step.extent.pins -= 1
+            extent = step.extent
+            if extent is not None:
+                extent.pins -= 1
+                if extent.pins == 0:
+                    unpinned = True
+        if unpinned and self.space is not None:
+            self.space.invalidate_evictable()
 
 
 class Redirector:
@@ -115,36 +124,43 @@ class Redirector:
         """Decide routing for one request; mutates DMT/CDT/space."""
         if op not in (OP_READ, OP_WRITE):
             raise CacheError(f"unknown op {op!r}")
-        if ctx is None:
-            ctx = NULL_CONTEXT
-        span = ctx.begin("route", cat="middleware", component="app", op=op)
-        plan = RoutePlan(op=op, d_file=d_file, steps=[])
-        segments = self.dmt.lookup(d_file, offset, size)
+        span = None
+        if ctx is not None and ctx is not NULL_CONTEXT:
+            span = ctx.begin("route", cat="middleware", component="app",
+                             op=op)
+        plan = RoutePlan(op=op, d_file=d_file, steps=[], space=self.space)
+        # Snapshot the hit segments once (a bisect plus a short walk —
+        # no gap tuples, no full-range tiling); the gaps between them
+        # are derived below.  The snapshot matters: hit handling and
+        # write-miss admission mutate the DMT mid-plan.
+        hits = list(self.dmt.extents_overlapping(d_file, offset, size))
         # Hit segments are resolved BEFORE miss segments: a write
         # miss's clean-LRU eviction may otherwise evict the very
         # extent a later hit segment of the same request references
         # (stale c_offset, resurrected metadata — a real bug found by
         # the consistency property tests).  Hits on a write mark the
         # extent dirty, which makes it unevictable for the misses.
-        for seg_start, seg_end, extent in segments:
-            if extent is None:
-                continue
+        for seg_start, seg_end, extent in hits:
             if cdt_entry is not None:
                 # Keep the resident's value current (mirrors the CDT's
                 # smoothed benefit) so the fetch churn guard compares
-                # like with like.
+                # like with like.  A devalued resident may newly fall
+                # below a fetch threshold, so the victim-scan cache
+                # must forget its "no victim" answer.
+                if cdt_entry.benefit < extent.benefit:
+                    self.space.invalidate_evictable()
                 extent.benefit = cdt_entry.benefit
             self._route_hit(plan, op, seg_start, seg_end - seg_start, extent)
-        for seg_start, seg_end, extent in segments:
-            if extent is not None:
-                continue
-            seg_size = seg_end - seg_start
-            if op == OP_WRITE:
-                self._route_write_miss(
-                    plan, d_file, c_file, seg_start, seg_size, cdt_entry
-                )
-            else:
-                self._route_read_miss(plan, seg_start, seg_size, cdt_entry)
+        pos = offset
+        end = offset + size
+        for seg_start, seg_end, _extent in hits:
+            if seg_start > pos:
+                self._route_miss(plan, op, d_file, c_file, pos,
+                                 seg_start - pos, cdt_entry)
+            pos = seg_end
+        if pos < end:
+            self._route_miss(plan, op, d_file, c_file, pos, end - pos,
+                             cdt_entry)
         # Pin every referenced extent until the caller releases the
         # plan (after the data movement completes).
         for step in plan.steps:
@@ -153,17 +169,35 @@ class Redirector:
         # Restore request order for readability of plans/results.
         plan.steps.sort(key=lambda s: s.d_offset)
         self._account(plan, size)
-        ctx.end(
-            span,
-            steps=len(plan.steps),
-            cserver_bytes=sum(
-                s.size for s in plan.steps if s.target == TO_CSERVERS
-            ),
-            metadata_mutations=plan.metadata_mutations,
-        )
+        if span is not None:
+            ctx.end(
+                span,
+                steps=len(plan.steps),
+                cserver_bytes=sum(
+                    s.size for s in plan.steps if s.target == TO_CSERVERS
+                ),
+                metadata_mutations=plan.metadata_mutations,
+            )
         return plan
 
     # -- the three outcomes ------------------------------------------------
+    def _route_miss(
+        self,
+        plan: RoutePlan,
+        op: str,
+        d_file: str,
+        c_file: str,
+        seg_start: int,
+        seg_size: int,
+        cdt_entry: CDTEntry | None,
+    ) -> None:
+        if op == OP_WRITE:
+            self._route_write_miss(
+                plan, d_file, c_file, seg_start, seg_size, cdt_entry
+            )
+        else:
+            self._route_read_miss(plan, seg_start, seg_size, cdt_entry)
+
     def _route_hit(
         self,
         plan: RoutePlan,

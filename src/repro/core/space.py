@@ -115,6 +115,18 @@ class CacheSpace:
         #: LRU recency: oldest first.  Maps extent id -> extent.
         self._recency: dict[int, DMTExtent] = {}
         self.evictions = 0
+        # Negative-result cache for the victim scan.  In steady state
+        # most :meth:`_oldest_clean` calls walk the whole recency dict
+        # and find nothing (everything dirty/pinned, or nothing below
+        # the fetch threshold); those outcomes stay valid until some
+        # extent *becomes* evictable.  ``invalidate_evictable`` must be
+        # called on every such transition — extent insertion (handled
+        # in :meth:`touch`), dirty->clean, pins->0, benefit decrease —
+        # or the cache would return stale Nones and change behaviour.
+        self._evict_epoch = 0
+        self._none_epoch = -1  # plain scan found nothing at this epoch
+        self._none_threshold_epoch = -1  # ditto for thresholded scans...
+        self._none_threshold = 0.0  # ...with thresholds <= this value
 
     def register_cache_file(self, c_file: str) -> None:
         """Declare a cache file; its address space spans the capacity."""
@@ -186,10 +198,23 @@ class CacheSpace:
             raise CacheError("cache space accounting went negative")
 
     # -- recency ------------------------------------------------------------
+    def invalidate_evictable(self) -> None:
+        """Note that an extent may have become evictable.
+
+        Callers owning extent state transitions (dirty->clean, last
+        pin dropped, benefit lowered) must invoke this so the victim
+        scan's negative-result cache is discarded; see ``__init__``.
+        """
+        self._evict_epoch += 1
+
     def touch(self, extent: DMTExtent) -> None:
         """Mark an extent most-recently-used."""
-        self._recency.pop(extent.record_id, None)
-        self._recency[extent.record_id] = extent
+        recency = self._recency
+        record_id = extent.record_id
+        if recency.pop(record_id, None) is None:
+            # First sighting: a new extent may be evictable right away.
+            self._evict_epoch += 1
+        recency[record_id] = extent
 
     def forget(self, extent: DMTExtent) -> None:
         self._recency.pop(extent.record_id, None)
@@ -197,12 +222,38 @@ class CacheSpace:
     def _oldest_clean(
         self, max_benefit: float | None = None
     ) -> DMTExtent | None:
+        # Split loops so the common no-threshold scan (the foreground
+        # write path, called once per eviction) does one check per
+        # extent instead of two.  Fruitless scans are cached by epoch:
+        # "nothing evictable" stays true until invalidate_evictable()
+        # (miss segments of one request and the rebuilder's fetch
+        # passes otherwise rescan the full dict back-to-back).
+        epoch = self._evict_epoch
+        if max_benefit is None:
+            if self._none_epoch == epoch:
+                return None
+            for extent in self._recency.values():
+                if extent.dirty or extent.pins > 0:
+                    continue
+                return extent
+            self._none_epoch = epoch
+            return None
+        if self._none_epoch == epoch or (
+            self._none_threshold_epoch == epoch
+            and max_benefit <= self._none_threshold
+        ):
+            # No victim at all, or none below an even higher threshold.
+            return None
         for extent in self._recency.values():
             if extent.dirty or extent.pins > 0:
                 continue
-            if max_benefit is not None and extent.benefit >= max_benefit:
+            if extent.benefit >= max_benefit:
                 continue
             return extent
+        if (self._none_threshold_epoch != epoch
+                or max_benefit > self._none_threshold):
+            self._none_threshold_epoch = epoch
+            self._none_threshold = max_benefit
         return None
 
     # -- recovery ----------------------------------------------------------
@@ -211,7 +262,10 @@ class CacheSpace:
 
         After a crash the persistent DMT is the only truth: free lists,
         byte accounting and LRU recency are rebuilt from its extents
-        (recency order is lost by design — it was volatile).
+        (recency order is lost by design — it was volatile).  The
+        seeded recency follows ``dmt.all_extents()`` order — files in
+        first-mapping order, offsets within a file ascending — which is
+        deterministic for a given recovered DMT.
         """
         cache_files = list(self._files)
         self._files = {name: _FileSpace(self.capacity) for name in cache_files}

@@ -12,12 +12,23 @@ file, with the D_flag dirty bit.  The DMT is hash-indexed in memory
 Berkeley-DB-like :class:`~repro.kvstore.HashDB`, so it survives
 simulated power failures; a :class:`~repro.kvstore.LockManager` key
 serialises concurrent metadata access as §III.D describes.
+
+Indexing note: both tables sit on the metadata hot path (every request
+consults them; the Rebuilder polls them every epoch), so the queries
+that used to be full-table scans are backed by incrementally-maintained
+indexes — a C_flag dict and a benefit min-heap on the CDT, a dirty-
+extent dict and running counters on the DMT.  All index orders are
+deterministic (admission / dirtying order), never hash-randomised:
+iteration over these dicts is insertion-ordered by the language, and
+insertions happen in simulation order.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import itertools
+import typing
 
 from ..errors import CacheError
 from ..intervals import IntervalMap
@@ -26,7 +37,13 @@ from ..kvstore import HashDB
 
 @dataclasses.dataclass
 class CDTEntry:
-    """One critical-data record (D_file, D_offset, Length, C_flag)."""
+    """One critical-data record (D_file, D_offset, Length, C_flag).
+
+    ``c_flag`` and ``benefit`` writes are intercepted so the owning
+    :class:`CDT` can maintain its pending-fetch and eviction indexes —
+    callers (redirector, rebuilder, tests) assign these attributes
+    directly and must not need to know about the indexes.
+    """
 
     d_file: str
     d_offset: int
@@ -35,6 +52,18 @@ class CDTEntry:
     c_flag: bool = False
     #: Benefit computed when the entry was admitted (diagnostics).
     benefit: float = 0.0
+
+    # Back-reference to the owning table plus the admission sequence
+    # number (the deterministic tiebreaker for equal benefits).  Plain
+    # class attributes — not annotated, hence not dataclass fields —
+    # so the generated ``__init__`` runs before a table adopts us.
+    _table = None
+    _seq = 0
+
+    def __setattr__(self, name: str, value: typing.Any) -> None:
+        object.__setattr__(self, name, value)
+        if self._table is not None and (name == "c_flag" or name == "benefit"):
+            self._table._entry_changed(self)
 
     @property
     def key(self) -> tuple[str, int, int]:
@@ -46,13 +75,22 @@ class CDT:
 
     Entries are keyed by the exact (file, offset, length) triple —
     repeated request patterns (the common HPC case the paper leans on)
-    hit the same entries.  A per-file interval index answers the
-    Rebuilder's "what should I fetch" scans.
+    hit the same entries.  A per-file index answers per-file scans, a
+    C_flag dict answers the Rebuilder's "what should I fetch" poll, and
+    a lazily-invalidated benefit min-heap picks eviction victims; none
+    of these require scanning the whole table.
     """
 
     def __init__(self, capacity_entries: int | None = None):
         self._entries: dict[tuple[str, int, int], CDTEntry] = {}
-        self._by_file: dict[str, list[CDTEntry]] = {}
+        self._by_file: dict[str, dict[tuple[str, int, int], CDTEntry]] = {}
+        #: Entries whose C_flag is set, keyed like ``_entries``.
+        self._pending: dict[tuple[str, int, int], CDTEntry] = {}
+        #: Eviction heap of ``(benefit, admit_seq, key)`` records.
+        #: Records go stale when an entry's benefit changes or the
+        #: entry is evicted; they are validated lazily on pop.
+        self._benefit_heap: list[tuple[float, int, tuple[str, int, int]]] = []
+        self._admit_seq = 0
         self.capacity_entries = capacity_entries
 
     def __len__(self) -> int:
@@ -86,27 +124,101 @@ class CDT:
             ):
                 self._evict_one()
             entry = CDTEntry(d_file, d_offset, length, benefit=benefit)
+            self._admit_seq += 1
+            entry._seq = self._admit_seq
+            entry._table = self
             self._entries[key] = entry
-            self._by_file.setdefault(d_file, []).append(entry)
+            self._by_file.setdefault(d_file, {})[key] = entry
+            heapq.heappush(self._benefit_heap, (benefit, entry._seq, key))
         else:
             ema = self.BENEFIT_EMA
+            # Assigning through the entry keeps the benefit heap posted.
             entry.benefit = (1 - ema) * entry.benefit + ema * benefit
         return entry
 
-    def _evict_one(self) -> None:
-        """Drop the lowest-benefit entry (table full)."""
-        victim = min(self._entries.values(), key=lambda e: e.benefit)
-        del self._entries[victim.key]
-        self._by_file[victim.d_file].remove(victim)
+    # -- index maintenance ----------------------------------------------
+    def _entry_changed(self, entry: CDTEntry) -> None:
+        """Called by :class:`CDTEntry` on ``c_flag``/``benefit`` writes."""
+        key = (entry.d_file, entry.d_offset, entry.length)
+        if entry.c_flag:
+            self._pending[key] = entry
+        else:
+            self._pending.pop(key, None)
+        heap = self._benefit_heap
+        heapq.heappush(heap, (entry.benefit, entry._seq, key))
+        # Stale records accumulate one per benefit update; compact the
+        # heap once they clearly dominate its size.
+        if len(heap) > 64 + 4 * len(self._entries):
+            self._rebuild_benefit_heap()
 
+    def _rebuild_benefit_heap(self) -> None:
+        self._benefit_heap = [
+            (e.benefit, e._seq, k) for k, e in self._entries.items()
+        ]
+        heapq.heapify(self._benefit_heap)
+
+    def _remove_entry(self, entry: CDTEntry) -> None:
+        key = (entry.d_file, entry.d_offset, entry.length)
+        del self._entries[key]
+        file_index = self._by_file.get(entry.d_file)
+        if file_index is not None:
+            file_index.pop(key, None)
+            if not file_index:
+                del self._by_file[entry.d_file]
+        self._pending.pop(key, None)
+        entry._table = None
+
+    def _evict_one(self) -> None:
+        """Drop the lowest-benefit entry (table full).
+
+        Pops the benefit heap until a live record surfaces.  The
+        ``(benefit, admit_seq)`` heap order reproduces exactly what the
+        old full scan (``min`` by benefit, first-admitted wins ties)
+        selected, without touching the other entries.
+        """
+        heap = self._benefit_heap
+        entries = self._entries
+        while heap:
+            benefit, seq, key = heapq.heappop(heap)
+            entry = entries.get(key)
+            if (
+                entry is not None
+                and entry._seq == seq
+                and entry.benefit == benefit
+            ):
+                self._remove_entry(entry)
+                return
+        if entries:  # pragma: no cover - heap always holds live records
+            victim = min(entries.values(), key=lambda e: (e.benefit, e._seq))
+            self._remove_entry(victim)
+
+    # -- queries ---------------------------------------------------------
     def pending_fetches(self, limit: int | None = None) -> list[CDTEntry]:
-        """Entries whose C_flag asks for a background fetch."""
-        out = [e for e in self._entries.values() if e.c_flag]
-        out.sort(key=lambda e: -e.benefit)
+        """Entries whose C_flag asks for a background fetch.
+
+        Highest benefit first; equal benefits tie-break by admission
+        order (the same order the old stable full-table sort produced).
+        Only the flagged entries — tracked in a dict maintained by the
+        C_flag write hook — are examined.
+        """
+        out = sorted(
+            self._pending.values(), key=lambda e: (-e.benefit, e._seq)
+        )
         return out if limit is None else out[:limit]
 
+    def pending_fetch_entries(self) -> list["CDTEntry"]:
+        """The flagged entries in no particular order (cheap accessor).
+
+        For callers that apply their own total order anyway (e.g. the
+        Rebuilder's fetch pass) — skips :meth:`pending_fetches`' sort.
+        The C_flag-insertion order of the returned list is
+        deterministic but NOT part of the contract.
+        """
+        return list(self._pending.values())
+
     def entries_for(self, d_file: str) -> list[CDTEntry]:
-        return list(self._by_file.get(d_file, []))
+        """All entries for one file, in admission order."""
+        return list(self._by_file.get(d_file, {}).values())
 
 
 @dataclasses.dataclass
@@ -136,9 +248,22 @@ class DMTExtent:
     pins: int = 0
 
     def to_record(self) -> dict:
-        record = dataclasses.asdict(self)
-        record.pop("pins")
-        return record
+        # Field order matches the dataclass (what asdict would emit);
+        # pins are transient and deliberately not persisted.  Built by
+        # hand because every DMT mutation writes through a record and
+        # asdict's recursive copy machinery dominates the metadata
+        # write path.
+        return {
+            "record_id": self.record_id,
+            "d_file": self.d_file,
+            "d_offset": self.d_offset,
+            "c_file": self.c_file,
+            "c_offset": self.c_offset,
+            "length": self.length,
+            "dirty": self.dirty,
+            "dirty_epoch": self.dirty_epoch,
+            "benefit": self.benefit,
+        }
 
     @classmethod
     def from_record(cls, record: dict) -> "DMTExtent":
@@ -151,11 +276,24 @@ class DMT:
     Every mutation is written through to the HashDB (sync_mode
     "always", matching the paper's synchronous metadata writes) so a
     :meth:`recover` after a crash rebuilds the same mappings.
+
+    Iteration-order contract (deterministic, DET003-safe): files are
+    visited in first-mapping order and extents within a file in offset
+    order; :meth:`dirty_extents` yields dirtying order.  Both orders
+    are pure functions of the simulated operation sequence.  Consumers
+    needing a different order (the Rebuilder's flush plan sorts by
+    ``(d_file, d_offset)``) sort the — now pre-filtered — result.
     """
 
     def __init__(self, db: HashDB | None = None):
         self.db = db if db is not None else HashDB("dmt")
         self._by_file: dict[str, IntervalMap[DMTExtent]] = {}
+        #: Dirty extents by record id, in dirtying order.
+        self._dirty: dict[int, DMTExtent] = {}
+        #: Interval count / byte count, maintained incrementally so
+        #: ``len(dmt)`` and ``mapped_bytes`` stop summing per call.
+        self._count = 0
+        self._bytes = 0
         self._ids = itertools.count(1)
 
     # -- queries --------------------------------------------------------
@@ -168,8 +306,34 @@ class DMT:
             return [(offset, offset + size, None)]
         return index.lookup(offset, offset + size)
 
+    def overlaps(self, d_file: str, offset: int, size: int) -> bool:
+        """True if any byte of ``[offset, offset+size)`` is mapped."""
+        index = self._by_file.get(d_file)
+        return index is not None and index.overlaps(offset, offset + size)
+
+    def extents_overlapping(
+        self, d_file: str, offset: int, size: int
+    ) -> typing.Iterator[tuple[int, int, DMTExtent]]:
+        """Hit segments of ``[offset, offset+size)``, in offset order.
+
+        Yields ``(seg_start, seg_end, extent)`` for each mapped piece,
+        clipped to the queried range — the lazy counterpart of
+        :meth:`lookup` that reports no gaps and materialises nothing.
+        This is the hit-iteration primitive behind request routing:
+        bisect to the first candidate, walk while ranges intersect.
+        """
+        index = self._by_file.get(d_file)
+        if index is None:
+            return
+        end = offset + size
+        for interval in index.overlapping(offset, end):
+            seg_start = interval.start if interval.start > offset else offset
+            seg_end = interval.end if interval.end < end else end
+            yield seg_start, seg_end, interval.value
+
     def fully_mapped(self, d_file: str, offset: int, size: int) -> bool:
-        return all(v is not None for _, _, v in self.lookup(d_file, offset, size))
+        index = self._by_file.get(d_file)
+        return index is not None and index.covered(offset, offset + size)
 
     def extents_for(self, d_file: str) -> list[DMTExtent]:
         index = self._by_file.get(d_file)
@@ -178,18 +342,23 @@ class DMT:
         return [iv.value for iv in index]
 
     def all_extents(self) -> list[DMTExtent]:
-        return [e for f in sorted(self._by_file) for e in self.extents_for(f)]
+        """Every extent: files in first-mapping order, offsets within."""
+        return [
+            iv.value for index in self._by_file.values() for iv in index
+        ]
 
     def dirty_extents(self, limit: int | None = None) -> list[DMTExtent]:
-        out = [e for e in self.all_extents() if e.dirty]
-        return out if limit is None else out[:limit]
+        """Dirty extents in dirtying order, from the dirty index."""
+        if limit is None:
+            return list(self._dirty.values())
+        return list(itertools.islice(self._dirty.values(), limit))
 
     def __len__(self) -> int:
-        return sum(len(ix) for ix in self._by_file.values())
+        return self._count
 
     @property
     def mapped_bytes(self) -> int:
-        return sum(ix.total_bytes for ix in self._by_file.values())
+        return self._bytes
 
     # -- mutation -----------------------------------------------------------
     def add(
@@ -214,11 +383,6 @@ class DMT:
         if length <= 0:
             raise CacheError(f"DMT extent length must be positive: {length}")
         index = self._by_file.setdefault(d_file, IntervalMap())
-        if index.overlaps(d_offset, d_offset + length):
-            raise CacheError(
-                f"DMT overlap: {d_file!r} [{d_offset}, {d_offset + length}) "
-                "is already (partially) mapped"
-            )
         extent = DMTExtent(
             record_id=next(self._ids),
             d_file=d_file,
@@ -229,13 +393,30 @@ class DMT:
             dirty=dirty,
             benefit=benefit,
         )
-        index.set(d_offset, d_offset + length, extent)
+        try:
+            index.add(d_offset, d_offset + length, extent)
+        except ValueError as exc:
+            raise CacheError(
+                f"DMT overlap: {d_file!r} [{d_offset}, {d_offset + length}) "
+                "is already (partially) mapped"
+            ) from exc
+        self._count += 1
+        self._bytes += length
+        if dirty:
+            self._dirty[extent.record_id] = extent
         self.db.put(self._key(extent), extent.to_record())
         return extent
 
     def set_dirty(self, extent: DMTExtent, dirty: bool) -> None:
+        # Any caller flipping an extent clean must also invalidate the
+        # CacheSpace victim-scan cache (CacheSpace.invalidate_evictable)
+        # if the extent lives in a space manager's LRU.
         if extent.dirty != dirty:
             extent.dirty = dirty
+            if dirty:
+                self._dirty[extent.record_id] = extent
+            else:
+                self._dirty.pop(extent.record_id, None)
             self.db.put(self._key(extent), extent.to_record())
 
     def remove(self, extent: DMTExtent) -> None:
@@ -247,6 +428,9 @@ class DMT:
             index.remove_exact(extent.d_offset, extent.d_offset + extent.length)
         except KeyError as exc:
             raise CacheError(f"remove of unmapped extent {extent}") from exc
+        self._count -= 1
+        self._bytes -= extent.length
+        self._dirty.pop(extent.record_id, None)
         self.db.delete(self._key(extent))
 
     def _key(self, extent: DMTExtent) -> str:
@@ -264,4 +448,17 @@ class DMT:
             index = self._by_file.setdefault(extent.d_file, IntervalMap())
             index.clear_range(extent.d_offset, extent.d_offset + extent.length)
             index.set(extent.d_offset, extent.d_offset + extent.length, extent)
+        # Derived indexes/counters are functions of the rebuilt maps.
+        # Dirty order after recovery is index order (file-then-offset),
+        # which is deterministic for a given durable-record sequence.
+        self._dirty = {}
+        self._count = 0
+        self._bytes = 0
+        for index in self._by_file.values():
+            self._count += len(index)
+            self._bytes += index.total_bytes
+            for interval in index:
+                e = interval.value
+                if e.dirty:
+                    self._dirty.setdefault(e.record_id, e)
         self._ids = itertools.count(max_id + 1)

@@ -111,6 +111,43 @@ class Experiment(abc.ABC):
         return result
 
 
+def fingerprint(result: ExperimentResult) -> dict:
+    """Canonical bit-exact JSON form of a result's numeric content.
+
+    Floats are rendered with ``float.hex`` so two results compare equal
+    iff their series are *bit-identical* — the determinism gate the
+    perf work is held to (same seeds -> same bits, see
+    tests/experiments/test_golden_determinism.py).
+    """
+
+    def num(value):
+        return float(value).hex() if isinstance(value, float) else repr(value)
+
+    return {
+        "exp_id": result.exp_id,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "series": [
+            {
+                "label": s.label,
+                "x": [num(x) for x in s.x],
+                "y": [float(v).hex() for v in s.y],
+            }
+            for s in result.series
+        ],
+        "failures": list(result.failures),
+    }
+
+
+def fingerprint_digest(result: ExperimentResult) -> str:
+    """SHA-256 over the canonical fingerprint (golden-hash fixtures)."""
+    import hashlib
+    import json
+
+    blob = json.dumps(fingerprint(result), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
 REGISTRY: dict[str, Experiment] = {}
 
 

@@ -41,6 +41,7 @@ class IntervalMap(typing.Generic[T]):
     def __init__(self) -> None:
         self._starts: list[int] = []
         self._items: list[Interval[T]] = []
+        self._total_bytes = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -50,8 +51,8 @@ class IntervalMap(typing.Generic[T]):
 
     @property
     def total_bytes(self) -> int:
-        """Sum of mapped range lengths."""
-        return sum(item.length for item in self._items)
+        """Sum of mapped range lengths (maintained incrementally)."""
+        return self._total_bytes
 
     # -- mutation --------------------------------------------------------
     def set(self, start: int, end: int, value: T) -> None:
@@ -62,6 +63,29 @@ class IntervalMap(typing.Generic[T]):
         idx = bisect.bisect_left(self._starts, start)
         self._starts.insert(idx, start)
         self._items.insert(idx, Interval(start, end, value))
+        self._total_bytes += end - start
+
+    def add(self, start: int, end: int, value: T) -> None:
+        """Map ``[start, end)``, which must not overlap anything.
+
+        The no-overwrite variant of :meth:`set`: one bisect and one
+        insert, no clear pass.  Raises ``ValueError`` on overlap —
+        callers use it when they have already established vacancy
+        (e.g. the DMT, which treats overlap as a distinct error).
+        """
+        if end <= start or start < 0:
+            raise ValueError(f"bad range [{start}, {end})")
+        starts = self._starts
+        idx = bisect.bisect_left(starts, start)
+        if idx > 0 and self._items[idx - 1].end > start:
+            raise ValueError(
+                f"[{start}, {end}) overlaps {self._items[idx - 1]}"
+            )
+        if idx < len(starts) and starts[idx] < end:
+            raise ValueError(f"[{start}, {end}) overlaps {self._items[idx]}")
+        starts.insert(idx, start)
+        self._items.insert(idx, Interval(start, end, value))
+        self._total_bytes += end - start
 
     def clear_range(self, start: int, end: int) -> list[Interval[T]]:
         """Unmap ``[start, end)``; returns the removed (clipped) pieces."""
@@ -86,9 +110,11 @@ class IntervalMap(typing.Generic[T]):
                 keep_left = Interval(item.start, start, item.value)
             if item.end > end:
                 keep_right = Interval(end, item.end, item.value)
-            removed.append(
-                Interval(max(item.start, start), min(item.end, end), item.value)
+            clipped = Interval(
+                max(item.start, start), min(item.end, end), item.value
             )
+            removed.append(clipped)
+            self._total_bytes -= clipped.length
             if first_removed is None:
                 first_removed = idx
             del self._starts[idx]
@@ -110,6 +136,7 @@ class IntervalMap(typing.Generic[T]):
             if item.start == start and item.end == end:
                 del self._starts[idx]
                 del self._items[idx]
+                self._total_bytes -= item.length
                 return item
         raise KeyError(f"no exact interval [{start}, {end})")
 
@@ -147,23 +174,81 @@ class IntervalMap(typing.Generic[T]):
             out.append((pos, end, None))
         return out
 
+    def overlapping(
+        self, start: int, end: int
+    ) -> typing.Iterator[Interval[T]]:
+        """Yield the mapped intervals intersecting ``[start, end)``.
+
+        Intervals come back in offset order, *unclipped* (a hit that
+        straddles a query edge is returned whole).  Unlike
+        :meth:`lookup` this materialises nothing and reports no gaps —
+        it is the cheap iteration primitive for "what is cached here".
+        """
+        if end <= start:
+            return
+        items = self._items
+        idx = bisect.bisect_right(self._starts, start) - 1
+        if idx < 0:
+            idx = 0
+        n = len(items)
+        while idx < n:
+            item = items[idx]
+            if item.start >= end:
+                break
+            if item.end > start:
+                yield item
+            idx += 1
+
     def covered(self, start: int, end: int) -> bool:
         """True if every byte in ``[start, end)`` is mapped."""
-        return all(v is not None for _, _, v in self.lookup(start, end))
+        if end <= start:
+            return True
+        items = self._items
+        idx = bisect.bisect_right(self._starts, start) - 1
+        if idx < 0:
+            return False
+        pos = start
+        n = len(items)
+        while True:
+            item = items[idx]
+            if item.start > pos or item.end <= pos:
+                return False
+            pos = item.end
+            if pos >= end:
+                return True
+            idx += 1
+            if idx >= n:
+                return False
 
     def overlaps(self, start: int, end: int) -> bool:
         """True if any byte in ``[start, end)`` is mapped."""
-        return any(v is not None for _, _, v in self.lookup(start, end))
+        if end <= start:
+            return False
+        idx = bisect.bisect_right(self._starts, start)
+        if idx > 0 and self._items[idx - 1].end > start:
+            return True
+        return idx < len(self._items) and self._items[idx].start < end
 
     def value_at(self, offset: int) -> T | None:
         """Value mapped at a single byte offset, or None."""
-        segs = self.lookup(offset, offset + 1)
-        return segs[0][2] if segs else None
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        if idx >= 0:
+            item = self._items[idx]
+            if item.end > offset:
+                return item.value
+        return None
 
     def check_invariants(self) -> None:
-        """Assert sortedness and non-overlap (used by property tests)."""
+        """Assert sortedness, non-overlap and counter consistency
+        (used by property tests)."""
         for a, b in zip(self._items, self._items[1:]):
             if a.end > b.start:
                 raise AssertionError(f"overlap: {a} then {b}")
         if self._starts != [i.start for i in self._items]:
             raise AssertionError("starts index out of sync")
+        actual = sum(item.length for item in self._items)
+        if self._total_bytes != actual:
+            raise AssertionError(
+                f"total_bytes drift: cached {self._total_bytes}, "
+                f"actual {actual}"
+            )

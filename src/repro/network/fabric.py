@@ -84,28 +84,33 @@ class Fabric:
         if src == dst:
             # Local loopback: no NIC involvement, negligible time.
             return self.sim.now
-        if ctx is None:
-            ctx = NULL_CONTEXT
         sender = self.endpoint(src)
         receiver = self.endpoint(dst)
-        span = ctx.begin(
-            "transfer", cat="network", component=f"nic:{src}",
-            src=src, dst=dst, size=size,
-        )
+        # Span bookkeeping is skipped entirely when tracing is off: the
+        # begin/end kwargs would otherwise allocate on every hop of
+        # every sub-request (the simulation's most-called generator).
+        span = None
+        if ctx is not None and ctx is not NULL_CONTEXT:
+            span = ctx.begin(
+                "transfer", cat="network", component=f"nic:{src}",
+                src=src, dst=dst, size=size,
+            )
         try:
             tx_grant = yield sender.tx.acquire(priority)
             try:
                 rx_grant = yield receiver.rx.acquire(priority)
                 try:
-                    rate = min(sender.bandwidth, receiver.bandwidth)
-                    wire = size / rate
+                    sb = sender.bandwidth
+                    rb = receiver.bandwidth
+                    wire = size / (sb if sb < rb else rb)
                     yield self.sim.timeout(self.spec.latency + wire)
                 finally:
                     receiver.rx.release(rx_grant)
             finally:
                 sender.tx.release(tx_grant)
         finally:
-            ctx.end(span)
+            if span is not None:
+                ctx.end(span)
         sender.bytes_sent += size
         receiver.bytes_received += size
         self.total_transfers += 1

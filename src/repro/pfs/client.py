@@ -115,22 +115,29 @@ class PFSClient:
             ctx = NULL_CONTEXT
         start = self.sim.now
         subs = split_request(offset, size, self.pfs.stripe_size, self.pfs.num_servers)
-        span = ctx.begin(
-            "pfs_io", cat="pfs", component="app",
-            fs=self.pfs.name, endpoint=self.endpoint, sub_requests=len(subs),
-        )
+        span = None
+        if ctx is not NULL_CONTEXT:
+            span = ctx.begin(
+                "pfs_io", cat="pfs", component="app",
+                fs=self.pfs.name, endpoint=self.endpoint,
+                sub_requests=len(subs),
+            )
         sub_ctx = ctx.under(span)
+        # One shared debug name per request (not per sub-request): the
+        # per-sub f-string was a measurable allocation on the hot path.
+        flow_name = f"{op}:{handle.name}"
         flows = [
             self.sim.spawn(
                 self._sub_flow(op, handle, sub, priority, sub_ctx),
-                name=f"{op}:{handle.name}:{sub.server}",
+                name=flow_name,
             )
             for sub in subs
         ]
         try:
             yield self.sim.all_of(flows)
         finally:
-            ctx.end(span)
+            if span is not None:
+                ctx.end(span)
 
         self.requests_issued += 1
         self.bytes_moved += size
@@ -157,11 +164,13 @@ class PFSClient:
         """One sub-request's full round trip."""
         server = self.pfs.servers[sub.server]
         address = handle.local_address(sub.server, sub.local_offset, sub.length)
-        span = ctx.begin(
-            "sub_request", cat="pfs", component=server.name,
-            op=op, size=sub.length,
-        )
-        ctx = ctx.under(span)
+        span = None
+        if ctx is not NULL_CONTEXT:
+            span = ctx.begin(
+                "sub_request", cat="pfs", component=server.name,
+                op=op, size=sub.length,
+            )
+            ctx = ctx.under(span)
         try:
             if op == OP_WRITE:
                 # Data travels with the request; small ack returns.
@@ -188,5 +197,6 @@ class PFSClient:
                     priority, ctx=ctx,
                 )
         finally:
-            ctx.end(span)
+            if span is not None:
+                ctx.end(span)
         return sub.length

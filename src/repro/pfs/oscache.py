@@ -131,13 +131,16 @@ class OSCache:
         spec = self.spec
         if size >= spec.readahead_max:
             # Large request: direct device read, no window bookkeeping.
-            yield from self._device_op("read", offset, size, priority,
-                                       ctx=ctx)
+            # (The wrapper method is bypassed here and below: one fewer
+            # generator frame per device operation.)
+            yield from self._device_op_impl("read", offset, size, priority,
+                                            ctx=ctx)
             return
         if self._in_dirty(offset, size):
             self.read_hits += 1  # data still in the page cache (dirty)
-            ctx.event("oscache_hit", cat="oscache", component=self.name,
-                      kind="dirty", size=size)
+            if ctx is not NULL_CONTEXT:
+                ctx.event("oscache_hit", cat="oscache", component=self.name,
+                          kind="dirty", size=size)
             return
         stream = self._match_stream(offset)
         if stream is not None and (
@@ -145,8 +148,9 @@ class OSCache:
             and offset + size <= stream.buffered_until
         ):
             self.read_hits += 1
-            ctx.event("oscache_hit", cat="oscache", component=self.name,
-                      kind="readahead", size=size)
+            if ctx is not NULL_CONTEXT:
+                ctx.event("oscache_hit", cat="oscache", component=self.name,
+                          kind="readahead", size=size)
             self._maybe_prefetch(stream, offset + size)
             return
         # Stream state is registered *before* the device operation so
@@ -157,8 +161,8 @@ class OSCache:
         if stream is None:
             # Cold/random: read exactly the request, start a context.
             self._push_stream(_ReadStream(offset, offset + size, size))
-            yield from self._device_op("read", offset, size, priority,
-                                       ctx=ctx)
+            yield from self._device_op_impl("read", offset, size, priority,
+                                            ctx=ctx)
             return
         # Confirmed stream past its window: synchronous refill, ramping.
         window = min(max(2 * stream.window, 4 * size), spec.readahead_max)
@@ -168,7 +172,8 @@ class OSCache:
         stream.window_start = offset
         stream.buffered_until = offset + window
         stream.window = window
-        yield from self._device_op("read", offset, window, priority, ctx=ctx)
+        yield from self._device_op_impl("read", offset, window, priority,
+                                        ctx=ctx)
 
     def _match_stream(self, offset: int) -> _ReadStream | None:
         """Linux ``ondemand_readahead`` semantics: a request belongs to
@@ -178,10 +183,15 @@ class OSCache:
         why noncontiguous access patterns are slow on real file servers
         (and why data sieving / list I/O / this paper exist).
         """
-        for i, stream in enumerate(self._streams):
+        streams = self._streams
+        for stream in streams:
             if stream.window_start <= offset <= stream.buffered_until:
-                del self._streams[i]
-                self._streams.append(stream)  # LRU touch
+                if streams[-1] is not stream:
+                    # LRU touch; list.remove compares by identity here
+                    # (streams define no __eq__), so it removes exactly
+                    # this first match.
+                    streams.remove(stream)
+                    streams.append(stream)
                 return stream
         return None
 
@@ -209,7 +219,8 @@ class OSCache:
         self.prefetches += 1
 
         def prefetch():
-            yield from self._device_op("read", start, window, PRIORITY_LOW)
+            yield from self._device_op_impl("read", start, window,
+                                            PRIORITY_LOW)
             stream.prefetching = False
 
         self.sim.spawn(prefetch(), name=f"{self.name}:prefetch")
@@ -286,7 +297,8 @@ class OSCache:
                 del self._dirty_runs[index]
             else:
                 run[0] = start + chunk
-            yield from self._device_op("write", start, chunk, PRIORITY_LOW)
+            yield from self._device_op_impl("write", start, chunk,
+                                            PRIORITY_LOW)
             self._dirty_bytes -= chunk
             self.drained_bytes += chunk
             if self._dirty_bytes <= self.spec.dirty_low:

@@ -70,30 +70,45 @@ class FileServer:
 
         Returns the elapsed foreground time (absorbed writes return
         quickly; their device work continues in the background).
+
+        The untraced path (the default for every experiment run) skips
+        span bookkeeping entirely — the begin/end kwargs would allocate
+        once per sub-request.
         """
-        if ctx is None:
-            ctx = NULL_CONTEXT
         start = self.sim.now
-        span = ctx.begin("service", cat="server", component=self.name,
-                         op=op, size=size)
-        ctx = ctx.under(span)
-        try:
+        if ctx is None or ctx is NULL_CONTEXT:
             yield self.sim.timeout(self.software_overhead)
-            if self.os_cache is not None:
+            os_cache = self.os_cache
+            if os_cache is not None:
                 if op == OP_WRITE:
-                    yield from self.os_cache.write(offset, size, priority,
-                                                   ctx=ctx)
+                    yield from os_cache.write(offset, size, priority)
                 elif op == OP_READ:
-                    yield from self.os_cache.read(offset, size, priority,
-                                                  ctx=ctx)
+                    yield from os_cache.read(offset, size, priority)
                 else:  # defensive: let the device reject unknown ops
+                    yield from self._device_op(op, offset, size, priority)
+            else:
+                yield from self._device_op(op, offset, size, priority)
+        else:
+            span = ctx.begin("service", cat="server", component=self.name,
+                             op=op, size=size)
+            ctx = ctx.under(span)
+            try:
+                yield self.sim.timeout(self.software_overhead)
+                if self.os_cache is not None:
+                    if op == OP_WRITE:
+                        yield from self.os_cache.write(offset, size, priority,
+                                                       ctx=ctx)
+                    elif op == OP_READ:
+                        yield from self.os_cache.read(offset, size, priority,
+                                                      ctx=ctx)
+                    else:  # defensive: let the device reject unknown ops
+                        yield from self._device_op(op, offset, size, priority,
+                                                   ctx=ctx)
+                else:
                     yield from self._device_op(op, offset, size, priority,
                                                ctx=ctx)
-            else:
-                yield from self._device_op(op, offset, size, priority,
-                                           ctx=ctx)
-        finally:
-            ctx.end(span)
+            finally:
+                ctx.end(span)
         self.requests_served += 1
         self.bytes_served += size
         return self.sim.now - start
@@ -101,8 +116,16 @@ class FileServer:
     def _device_op(self, op: str, offset: int, size: int, priority: int,
                    ctx: "TraceContext | None" = None):
         """Queue + execute one device operation (shared by all paths)."""
-        if ctx is None:
-            ctx = NULL_CONTEXT
+        if ctx is None or ctx is NULL_CONTEXT:
+            grant = yield self.queue.acquire(priority)
+            start = self.sim.now
+            try:
+                elapsed = self.device.service_time(op, offset, size, self._rng)
+                yield self.sim.timeout(elapsed)
+            finally:
+                self.queue.release(grant)
+            self.busy_log.record(start, self.sim.now, op)
+            return
         wait_span = ctx.begin("queue_wait", cat="server",
                               component=self.name, op=op)
         grant = yield self.queue.acquire(priority)

@@ -1,14 +1,36 @@
-"""The simulator: event queue, clock and run loop."""
+"""The simulator: event queue, clock and run loop.
+
+Engine layout (the hot path of every experiment in the repo):
+
+- Events with a positive delay live in a binary heap keyed by
+  ``(time, seq)``.
+- Zero-delay events — the majority in a typical run: resource grants,
+  store hand-offs, completion notifications, process bootstraps — go
+  to a FIFO *run-queue* instead, costing O(1) to schedule and pop.
+- The two structures are merged by ``(time, seq)`` at pop time, so
+  global event order is **identical** to a single heap: events
+  scheduled for the same time still fire in schedule order.  (All
+  run-queue entries carry the current clock as their timestamp — the
+  clock cannot advance while the run-queue is non-empty — so the merge
+  only ever compares sequence numbers at one timestamp.)
+- Plain ``yield sim.timeout(x)`` timeouts are recycled through a free
+  pool (see :mod:`repro.sim.events` for the pooling contract).
+"""
 
 from __future__ import annotations
 
 import heapq
 import typing
+from collections import deque
 
 from ..errors import SimulationError
+from . import events as _events
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessBody
 from .rng import RandomStreams
+
+#: Upper bound on pooled Timeout instances kept for reuse.
+_TIMEOUT_POOL_LIMIT = 256
 
 
 class Simulator:
@@ -24,6 +46,10 @@ class Simulator:
         self.now: float = 0.0
         self.rng = RandomStreams(seed)
         self._heap: list[tuple[float, int, Event]] = []
+        #: Zero-delay fast lane, in schedule order; each queued event
+        #: carries its schedule seq in ``_qseq`` (no tuple wrapping).
+        self._runq: deque[Event] = deque()
+        self._timeout_pool: list[Timeout] = []
         self._seq = 0
         self._next_pid = 0
         self._active_process: Process | None = None
@@ -38,7 +64,31 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
+        """Create an event firing ``delay`` seconds from now.
+
+        Recycles a pooled instance when one is available; see
+        :mod:`repro.sim.events` for the (engine-internal) contract.
+        """
+        pool = self._timeout_pool
+        if pool:
+            # _rearm + _schedule unrolled: one call layer per timeout
+            # matters at hundreds of thousands of timeouts per run.
+            timeout = pool.pop()
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout.delay = delay
+            timeout._value = value
+            timeout._processed = False
+            timeout._had_joiners = False
+            if delay == 0.0:
+                self._seq = timeout._qseq = self._seq + 1
+                self._runq.append(timeout)
+            else:
+                self._seq += 1
+                heapq.heappush(
+                    self._heap, (self.now + delay, self._seq, timeout)
+                )
+            return timeout
         return Timeout(self, delay, value)
 
     def all_of(self, events: typing.Sequence[Event]) -> AllOf:
@@ -55,6 +105,10 @@ class Simulator:
 
     # -- engine plumbing --------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
+        if delay == 0.0:
+            self._seq = event._qseq = self._seq + 1
+            self._runq.append(event)
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
@@ -69,18 +123,35 @@ class Simulator:
         self._crashed[process.pid] = exc
 
     # -- running -----------------------------------------------------------
+    def _pop_next(self) -> Event:
+        """Pop the globally next event, merging run-queue and heap.
+
+        Heap entries never carry a time below ``now`` (delays are
+        non-negative and the clock only advances to popped times), so
+        a heap event beats the run-queue front only when it shares the
+        current timestamp with an earlier sequence number.
+        """
+        runq = self._runq
+        heap = self._heap
+        if runq:
+            if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
+                when, _, event = heapq.heappop(heap)
+                self.now = when
+                return event
+            return runq.popleft()
+        if heap:
+            when, _, event = heapq.heappop(heap)
+            self.now = when
+            return event
+        raise SimulationError("step() on an empty event queue")
+
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
-        if when < self.now:
-            raise SimulationError("event queue time went backwards")
-        self.now = when
+        event = self._pop_next()
         event._process()
         # A crashed process with no joiner is an unhandled simulation
         # error: surface it instead of silently dropping the failure.
-        if isinstance(event, Process):
+        if self._crashed and isinstance(event, Process):
             crash = self._crashed.pop(event.pid, None)
             if crash is not None and not event._had_joiners:
                 raise crash
@@ -88,16 +159,89 @@ class Simulator:
     def run(self, until: float | None = None) -> float:
         """Run until the queue drains or the clock passes ``until``.
 
-        Returns the final simulation time.
+        Returns the final simulation time.  This is the engine's inner
+        loop: the pop is inlined (no per-event ``step()`` call or
+        double heap access) and pooled timeouts are recycled here.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            self.step()
+        heap = self._heap
+        runq = self._runq
+        pool = self._timeout_pool
+        crashed = self._crashed
+        heappop = heapq.heappop
+        generic_process = Event._process
+        resume = _events._RESUME
+        while True:
+            if runq:
+                # Zero-delay fast lane; a heap event sharing the current
+                # timestamp but scheduled earlier still goes first.
+                if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
+                    when, _, event = heappop(heap)
+                    self.now = when
+                else:
+                    event = runq.popleft()
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                event = heappop(heap)[2]
+                self.now = when
+            else:
+                break
+            cls = type(event)
+            if cls is Timeout:
+                # Inlined Timeout._process(), including the pooling
+                # decision (sole consumer is a process resume).
+                event._processed = True
+                cb0 = event._cb0
+                if cb0 is not None:
+                    event._cb0 = None
+                    event._had_joiners = True
+                    callbacks = event._callbacks
+                    if callbacks is None:
+                        if getattr(cb0, "__func__", None) is resume:
+                            cb0(event)
+                            if len(pool) < _TIMEOUT_POOL_LIMIT:
+                                pool.append(event)
+                        else:
+                            cb0(event)
+                    else:
+                        event._callbacks = None
+                        cb0(event)
+                        for callback in callbacks:
+                            callback(event)
+                else:
+                    event._had_joiners = False
+                continue
+            if cls._process is generic_process:
+                # Inlined Event._process(): covers plain events, grants,
+                # conditions and process completions — every class that
+                # does not override the hook.
+                event._processed = True
+                cb0 = event._cb0
+                if cb0 is not None:
+                    event._cb0 = None
+                    event._had_joiners = True
+                    callbacks = event._callbacks
+                    if callbacks is None:
+                        cb0(event)
+                    else:
+                        event._callbacks = None
+                        cb0(event)
+                        for callback in callbacks:
+                            callback(event)
+                else:
+                    event._had_joiners = False
+            else:
+                event._process()
+            if crashed and isinstance(event, Process):
+                # A crashed process with no joiner is an unhandled
+                # simulation error: surface it, don't drop it.
+                crash = crashed.pop(event.pid, None)
+                if crash is not None and not event._had_joiners:
+                    raise crash
         if until is not None:
             self.now = until
         return self.now
@@ -119,4 +263,4 @@ class Simulator:
     @property
     def queued_events(self) -> int:
         """Number of events currently scheduled (for tests/diagnostics)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._runq)

@@ -7,6 +7,20 @@ process with the event's value once it has been *triggered* and then
 
 Composite events :class:`AllOf` and :class:`AnyOf` let a process wait on
 several events at once.
+
+Hot-path notes (the engine processes hundreds of thousands of events
+per simulated second of an S4D run):
+
+- The overwhelmingly common case is exactly **one** callback per event
+  (a process resume), so the first callback lives in a dedicated
+  ``_cb0`` slot and the spill list is only allocated for the rare
+  multi-waiter event.
+- :class:`Timeout` instances whose sole consumer was a process resume
+  (the plain ``yield sim.timeout(x)`` idiom) are recycled through a
+  free pool on the :class:`~repro.sim.core.Simulator`; holding a
+  yielded timeout across later yields and re-reading it is outside
+  that contract (composite waits via ``any_of``/``all_of`` are safe —
+  their watcher callbacks disqualify the timeout from pooling).
 """
 
 from __future__ import annotations
@@ -20,6 +34,11 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Callback = typing.Callable[["Event"], None]
 
+#: Set by :mod:`repro.sim.process` to ``Process._resume`` — the one
+#: callback that marks a Timeout as safely poolable.  Wired at import
+#: time to avoid an import cycle.
+_RESUME: typing.Any = None
+
 
 class Event:
     """A one-shot simulation event.
@@ -31,17 +50,23 @@ class Event:
 
     __slots__ = (
         "sim",
+        "_cb0",
         "_callbacks",
         "_value",
         "_exc",
         "_triggered",
         "_processed",
         "_had_joiners",
+        # Schedule order within the zero-delay run-queue; written by the
+        # scheduler when the event enters the queue (left unset before
+        # then — it has no meaning for an unscheduled event).
+        "_qseq",
     )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._callbacks: list[Callback] | None = []
+        self._cb0: Callback | None = None
+        self._callbacks: list[Callback] | None = None
         self._value: typing.Any = None
         self._exc: BaseException | None = None
         self._triggered = False
@@ -85,7 +110,13 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay == 0.0:
+            # Inlined zero-delay schedule: the dominant case by far.
+            sim._seq = self._qseq = sim._seq + 1
+            sim._runq.append(self)
+        else:
+            sim._schedule(self, delay)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
@@ -106,19 +137,26 @@ class Event:
         If the event was already processed the callback runs immediately
         (synchronously), which keeps waiter logic simple.
         """
-        if self._callbacks is None:
+        if self._processed:
             callback(self)
+        elif self._cb0 is None:
+            self._cb0 = callback
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
     def _process(self) -> None:
         """Run callbacks; called by the simulator at the trigger time."""
-        callbacks, self._callbacks = self._callbacks, None
         self._processed = True
-        assert callbacks is not None
-        self._had_joiners = bool(callbacks)
-        for callback in callbacks:
-            callback(self)
+        cb0, self._cb0 = self._cb0, None
+        self._had_joiners = cb0 is not None
+        if cb0 is not None:
+            callbacks, self._callbacks = self._callbacks, None
+            cb0(self)
+            if callbacks is not None:
+                for callback in callbacks:
+                    callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "processed" if self._processed else (
@@ -127,18 +165,55 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` sim-seconds after creation."""
+    """An event that fires ``delay`` sim-seconds after creation.
 
-    __slots__ = ("delay",)
+    Create through :meth:`Simulator.timeout`, which recycles instances
+    from a free pool when possible (see the module docstring for the
+    pooling contract).
+    """
+
+    __slots__ = ("delay", "_reusable")
 
     def __init__(self, sim: "Simulator", delay: float, value: typing.Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
+        self._reusable = False
         self._triggered = True
         self._value = value
         sim._schedule(self, delay)
+
+    def _rearm(self, delay: float, value: typing.Any) -> None:
+        """Reset a pooled instance for reuse (Simulator.timeout only)."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.delay = delay
+        self._value = value
+        self._processed = False
+        self._had_joiners = False
+        # _cb0/_callbacks are already None (cleared by _process) and
+        # _exc is always None for timeouts; _triggered stayed True.
+        self.sim._schedule(self, delay)
+
+    def _process(self) -> None:
+        self._processed = True
+        cb0, self._cb0 = self._cb0, None
+        self._had_joiners = cb0 is not None
+        if cb0 is not None:
+            callbacks, self._callbacks = self._callbacks, None
+            # Poolable iff the sole consumer is a process resume: the
+            # generator received the value and, per the yield contract,
+            # holds no further interest in this object.
+            self._reusable = (
+                callbacks is None
+                and _RESUME is not None
+                and getattr(cb0, "__func__", None) is _RESUME
+            )
+            cb0(self)
+            if callbacks is not None:
+                for callback in callbacks:
+                    callback(self)
 
 
 class _Condition(Event):
@@ -153,8 +228,17 @@ class _Condition(Event):
         if not self.events:
             self.succeed(self._collect())
             return
+        self._watch()
+
+    def _watch(self) -> None:
+        # One bound method for all children (not one per add_callback
+        # call), with the first-waiter registration fast path inlined.
+        on_child = self._on_child
         for event in self.events:
-            event.add_callback(self._on_child)
+            if event._cb0 is None and not event._processed:
+                event._cb0 = on_child
+            else:
+                event.add_callback(on_child)
 
     def _collect(self) -> list[typing.Any]:
         return [e._value for e in self.events if e.processed and e.ok]
@@ -186,16 +270,24 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires when the *first* child event is processed.
 
-    Value is a ``(index, value)`` tuple of the winning child.
+    Value is a ``(index, value)`` tuple of the winning child.  Each
+    watcher callback carries its child's index, so the winner is known
+    without an O(n) ``list.index`` scan at fire time.
     """
 
     __slots__ = ()
 
-    def _on_child(self, event: Event) -> None:
+    def _watch(self) -> None:
+        for index, event in enumerate(self.events):
+            event.add_callback(
+                lambda e, _i=index: self._on_child_at(_i, e)
+            )
+
+    def _on_child_at(self, index: int, event: Event) -> None:
         if self._triggered:
             return
         if not event.ok:
             assert event.exception is not None
             self.fail(event.exception)
             return
-        self.succeed((self.events.index(event), event._value))
+        self.succeed((index, event._value))

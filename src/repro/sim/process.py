@@ -14,6 +14,7 @@ from __future__ import annotations
 import typing
 
 from ..errors import ProcessKilled, SimulationError
+from . import events
 from .events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -30,7 +31,7 @@ class Process(Event):
     :class:`~repro.errors.ProcessKilled` into the generator.
     """
 
-    __slots__ = ("body", "name", "pid", "_waiting_on", "_started")
+    __slots__ = ("body", "name", "pid", "_waiting_on", "_started", "_presume")
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
         if not hasattr(body, "send"):
@@ -42,14 +43,25 @@ class Process(Event):
         self.name = name or getattr(body, "__name__", "process")
         #: Monotonic spawn-order id; the deterministic identity used
         #: for crash bookkeeping (an ``id()`` key would vary by run).
-        self.pid = sim._next_process_id()
+        #: (``sim._next_process_id()`` unrolled — one call per spawn.)
+        sim._next_pid = self.pid = sim._next_pid + 1
         self._waiting_on: Event | None = None
         self._started = False
+        # One bound method for the process's whole life: every yield
+        # registers this same object, instead of allocating a fresh
+        # bound method per resume (the engine's hottest allocation).
+        # It makes the process self-referential, so every completion
+        # path clears it — otherwise no finished process would ever
+        # die by refcount and the GC would carry the whole population.
+        self._presume = self._resume
         # Kick off the generator at the current simulation time via an
-        # immediately-processed bootstrap event.
+        # immediately-processed bootstrap event (add_callback + succeed
+        # unrolled: the event is fresh, so the fast paths always apply).
         bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        bootstrap._cb0 = self._presume
+        bootstrap._triggered = True
+        sim._seq = bootstrap._qseq = sim._seq + 1
+        sim._runq.append(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -63,48 +75,61 @@ class Process(Event):
         if not self._started:
             # The generator never ran; there is no frame to throw into.
             self.body.close()
+            self._presume = None
             self.succeed(None)
             return
         self._throw_in(ProcessKilled(reason or f"process {self.name} killed"))
 
     # -- engine plumbing -------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the fired event's outcome."""
-        if self.triggered:
+        """Advance the generator with the fired event's outcome.
+
+        This is the engine's hottest function (it runs once per yield
+        of every process), hence the direct slot reads instead of the
+        public properties.
+        """
+        if self._triggered:
             # The process was killed while waiting on this event; the
             # event's late firing must not resurrect the generator.
             return
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
-            if event.ok:
-                target = self.body.send(event._value if self._started else None)
+            if event._exc is None:
+                # The first resume is the bootstrap event, whose value
+                # is None — exactly what a fresh generator requires.
+                target = self.body.send(event._value)
             else:
-                assert event.exception is not None
-                target = self.body.throw(event.exception)
+                target = self.body.throw(event._exc)
         except StopIteration as stop:
+            self._presume = None
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate as failure
             self._fail_with(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
         self._started = True
-        if not isinstance(target, Event):
+        if isinstance(target, Event) and target.sim is sim:
+            self._waiting_on = target
+            # Inlined add_callback() fast path: first waiter on a
+            # not-yet-processed event (the overwhelmingly common case).
+            if target._cb0 is None and not target._processed:
+                target._cb0 = self._presume
+            else:
+                target.add_callback(self._presume)
+        elif isinstance(target, Event):
+            self._throw_in(
+                SimulationError(f"process {self.name} yielded a foreign event")
+            )
+        else:
             self._throw_in(
                 SimulationError(
                     f"process {self.name} yielded {target!r}; expected an Event"
                 )
             )
-            return
-        if target.sim is not self.sim:
-            self._throw_in(
-                SimulationError(f"process {self.name} yielded a foreign event")
-            )
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
 
     def _throw_in(self, exc: BaseException) -> None:
         """Inject an exception into the generator right now."""
@@ -112,6 +137,7 @@ class Process(Event):
         try:
             self.body.throw(exc)
         except StopIteration as stop:
+            self._presume = None
             self.succeed(stop.value)
         except BaseException as err:  # noqa: BLE001
             self._fail_with(err)
@@ -126,9 +152,15 @@ class Process(Event):
 
     def _fail_with(self, exc: BaseException) -> None:
         """Record generator failure; escalate if nobody is joining us."""
+        self._presume = None
         self.fail(exc)
         self.sim._note_crash(self, exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.triggered else "alive"
         return f"<Process {self.name} {state}>"
+
+
+# Tell the event module which callback marks a Timeout as poolable
+# (assigned here to avoid an import cycle; see events._RESUME).
+events._RESUME = Process._resume

@@ -36,7 +36,17 @@ class Grant(Event):
     __slots__ = ("resource", "priority", "released")
 
     def __init__(self, resource: "PriorityResource", priority: int):
-        super().__init__(resource.sim)
+        # Event.__init__ unrolled: grants are allocated once per device
+        # operation and network hop, making this one of the hottest
+        # constructors in the engine.
+        self.sim = resource.sim
+        self._cb0 = None
+        self._callbacks = None
+        self._value = None
+        self._exc = None
+        self._triggered = False
+        self._processed = False
+        self._had_joiners = False
         self.resource = resource
         self.priority = priority
         self.released = False
@@ -84,7 +94,13 @@ class PriorityResource:
         grant = Grant(self, priority)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
-            grant.succeed(grant)
+            # Inlined grant.succeed(grant) zero-delay path (the grant
+            # is fresh, so the already-triggered check cannot fire).
+            grant._triggered = True
+            grant._value = grant
+            sim = self.sim
+            sim._seq = grant._qseq = sim._seq + 1
+            sim._runq.append(grant)
         else:
             self._seq += 1
             heapq.heappush(self._waiters, (priority, self._seq, grant))
@@ -100,8 +116,14 @@ class PriorityResource:
             raise SimulationError("release of a grant that was never acquired")
         grant.released = True
         if self._waiters:
-            _, _, next_grant = heapq.heappop(self._waiters)
-            next_grant.succeed(next_grant)
+            next_grant = heapq.heappop(self._waiters)[2]
+            # Inlined next_grant.succeed(next_grant): a queued grant is
+            # untriggered by construction.
+            next_grant._triggered = True
+            next_grant._value = next_grant
+            sim = self.sim
+            sim._seq = next_grant._qseq = sim._seq + 1
+            sim._runq.append(next_grant)
         else:
             self._in_use -= 1
 

@@ -28,6 +28,13 @@ class Workload(abc.ABC):
         self.processes = processes
         self.path = path
         self.seed = seed
+        #: Memoised per-rank segment lists (patterns are deterministic
+        #: in (parameters, seed, rank) by contract, and generating one
+        #: can shuffle/sample a whole region — regenerating it for
+        #: every derived quantity and every rank body is pure waste).
+        #: Treat the cached lists as immutable.
+        self._segments_cache: dict[int, list[Segment]] = {}
+        self._size_hint: int | None = None
 
     @property
     def name(self) -> str:
@@ -37,28 +44,38 @@ class Workload(abc.ABC):
     def segments_for_rank(self, rank: int) -> list[Segment]:
         """The ordered (offset, size) requests rank ``rank`` issues."""
 
+    def segments(self, rank: int) -> list[Segment]:
+        """Memoised :meth:`segments_for_rank`; do not mutate the result."""
+        segs = self._segments_cache.get(rank)
+        if segs is None:
+            segs = self._segments_cache[rank] = self.segments_for_rank(rank)
+        return segs
+
     # -- derived quantities ------------------------------------------------
     def data_bytes(self) -> int:
         """Total bytes accessed across all ranks (cache sizing input)."""
         return sum(
             size
             for rank in range(self.processes)
-            for _, size in self.segments_for_rank(rank)
+            for _, size in self.segments(rank)
         )
 
     def size_hint(self) -> int:
         """Reserved size of the shared file."""
-        return max(
-            (offset + size
-             for rank in range(self.processes)
-             for offset, size in self.segments_for_rank(rank)),
-            default=0,
-        )
+        hint = self._size_hint
+        if hint is None:
+            hint = self._size_hint = max(
+                (offset + size
+                 for rank in range(self.processes)
+                 for offset, size in self.segments(rank)),
+                default=0,
+            )
+        return hint
 
     def validate(self) -> None:
         """Sanity-check the pattern (no negative offsets, sizes > 0)."""
         for rank in range(self.processes):
-            for offset, size in self.segments_for_rank(rank):
+            for offset, size in self.segments(rank):
                 if offset < 0 or size <= 0:
                     raise WorkloadError(
                         f"{self.name}: bad segment ({offset}, {size}) "
@@ -76,7 +93,7 @@ class Workload(abc.ABC):
 
         def body(ctx):
             handle = yield from ctx.open(self.path, max(self.size_hint(), 1))
-            for offset, size in self.segments_for_rank(ctx.rank):
+            for offset, size in self.segments(ctx.rank):
                 if op == "read":
                     yield from handle.read_at(offset, size)
                 else:

@@ -168,3 +168,110 @@ def test_filespace_accounting_invariant(ops):
             offset, size = live.pop(0)
             fs.free(offset, size)
         assert fs.free_bytes == 500 - sum(s for _, s in live)
+
+
+# ---------------------------------------------------------------------------
+# victim-scan negative-result cache
+# ---------------------------------------------------------------------------
+
+def _fill_dirty(space, dmt, n=4, size=25):
+    exts = []
+    for i in range(n):
+        a = space.find_free_space(CF, size)
+        ext = dmt.add("/f", i * size, CF, a.c_offset, size, dirty=True)
+        space.touch(ext)
+        exts.append(ext)
+    return exts
+
+
+def test_victim_cache_sees_clean_transition():
+    """A cached 'no victim' answer must be dropped when an extent is
+    flushed clean (the rebuilder calls invalidate_evictable)."""
+    space = make_space(100)
+    dmt = DMT()
+    exts = _fill_dirty(space, dmt)
+    assert space.find_clean_space(CF, 25, dmt) is None
+    # Cached: still None without any state change.
+    assert space.find_clean_space(CF, 25, dmt) is None
+    dmt.set_dirty(exts[1], False)
+    space.invalidate_evictable()
+    alloc = space.find_clean_space(CF, 25, dmt)
+    assert alloc is not None
+    assert space.evictions == 1
+
+
+def test_victim_cache_sees_unpin():
+    space = make_space(100)
+    dmt = DMT()
+    exts = []
+    for i in range(4):
+        a = space.find_free_space(CF, 25)
+        ext = dmt.add("/f", i * 25, CF, a.c_offset, 25, dirty=False)
+        ext.pins = 1
+        space.touch(ext)
+        exts.append(ext)
+    assert space.find_clean_space(CF, 25, dmt) is None
+    exts[2].pins = 0
+    space.invalidate_evictable()
+    alloc = space.find_clean_space(CF, 25, dmt)
+    assert alloc is not None
+    assert dmt.lookup("/f", 50, 25)[0][2] is None  # extent 2 evicted
+
+
+def test_victim_cache_sees_new_extent_via_touch():
+    space = make_space(100)
+    dmt = DMT()
+    exts = _fill_dirty(space, dmt, n=4)  # capacity full, all dirty
+    assert space.find_clean_space(CF, 25, dmt) is None
+    # Replace one dirty extent with a fresh *clean* one (as a completed
+    # flush+refetch would): the touch of the new extent must invalidate
+    # the cached "no victim" answer on its own.
+    dmt.remove(exts[3])
+    space.forget(exts[3])
+    space.release(CF, exts[3].c_offset, exts[3].length)
+    a = space.find_free_space(CF, 25)
+    ext = dmt.add("/f", 75, CF, a.c_offset, 25, dirty=False)
+    space.touch(ext)
+    alloc = space.find_clean_space(CF, 25, dmt)
+    assert alloc is not None
+    assert space.evictions == 1  # the new clean extent was the victim
+
+
+def test_victim_cache_threshold_monotonicity():
+    """A 'nothing below T' answer also covers any threshold <= T, but a
+    higher threshold must rescan."""
+    space = make_space(100)
+    dmt = DMT()
+    for i in range(4):
+        a = space.find_free_space(CF, 25)
+        ext = dmt.add("/f", i * 25, CF, a.c_offset, 25, dirty=False,
+                      benefit=5.0)
+        space.touch(ext)
+    h = space.fetch_hysteresis
+    # All benefits are 5.0: a fetch valued 5.0*h only displaces
+    # benefit < 5.0 -> no victim; cached for anything weaker.
+    assert space.find_clean_space(CF, 25, dmt, min_benefit=5.0 * h) is None
+    assert space.find_clean_space(CF, 25, dmt, min_benefit=4.0 * h) is None
+    # A strictly more valuable fetch must rescan and find a victim.
+    assert space.find_clean_space(CF, 25, dmt, min_benefit=5.1 * h) is not None
+
+
+def test_victim_cache_devaluation_path():
+    """Lowering a resident's benefit (route-hit reassignment) plus the
+    redirector's invalidate call exposes it to pending fetches."""
+    space = make_space(100)
+    dmt = DMT()
+    exts = []
+    for i in range(4):
+        a = space.find_free_space(CF, 25)
+        ext = dmt.add("/f", i * 25, CF, a.c_offset, 25, dirty=False,
+                      benefit=5.0)
+        space.touch(ext)
+        exts.append(ext)
+    h = space.fetch_hysteresis
+    assert space.find_clean_space(CF, 25, dmt, min_benefit=5.0 * h) is None
+    exts[0].benefit = 1.0
+    space.invalidate_evictable()
+    alloc = space.find_clean_space(CF, 25, dmt, min_benefit=5.0 * h)
+    assert alloc is not None
+    assert dmt.lookup("/f", 0, 25)[0][2] is None  # devalued extent evicted

@@ -151,7 +151,14 @@ def test_dmt_recovery_continues_record_ids():
 
 
 def test_dmt_all_extents_ordering():
+    # Documented contract: files in first-mapping order, offsets within
+    # a file ascending.  Both are pure functions of the simulated
+    # operation sequence (never hash order), so iteration stays
+    # deterministic without re-sorting the file keys on every call.
     dmt = DMT()
     dmt.add("/b", 0, "/cb", 0, 10, dirty=False)
+    dmt.add("/a", 50, "/ca", 50, 10, dirty=False)
     dmt.add("/a", 0, "/ca", 0, 10, dirty=False)
-    assert [e.d_file for e in dmt.all_extents()] == ["/a", "/b"]
+    assert [(e.d_file, e.d_offset) for e in dmt.all_extents()] == [
+        ("/b", 0), ("/a", 0), ("/a", 50)
+    ]

@@ -20,73 +20,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .cliutil import (
+    add_cluster_args,
+    add_jobs_arg,
+    add_workload_args,
+    build_workload,
+    spec_from,
+)
 from .units import MiB, fmt_size
-
-
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workload", default="ior",
-                        choices=["ior", "hpio", "tileio", "mix"])
-    parser.add_argument("--processes", type=int, default=8)
-    parser.add_argument("--request-size", default="16KB")
-    parser.add_argument("--file-size", default="2GB")
-    parser.add_argument("--pattern", default="random",
-                        choices=["sequential", "random"])
-    parser.add_argument("--requests-per-rank", type=int, default=128)
-    parser.add_argument("--spacing", default="4KB",
-                        help="HPIO region spacing")
-
-
-def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dservers", type=int, default=8)
-    parser.add_argument("--cservers", type=int, default=4)
-    parser.add_argument("--nodes", type=int, default=None,
-                        help="compute nodes (default: one per process)")
-    parser.add_argument("--policy", default="selective")
-    parser.add_argument("--cache-fraction", type=float, default=0.20)
-    parser.add_argument("--seed", type=int, default=42)
-
-
-def _spec_from(args, processes: int):
-    from .cluster import ClusterSpec
-
-    return ClusterSpec(
-        num_dservers=args.dservers,
-        num_cservers=args.cservers,
-        num_nodes=args.nodes or min(processes, 32),
-        cache_fraction=args.cache_fraction,
-        policy=args.policy,
-        seed=args.seed,
-    )
-
-
-def _build_workload(args):
-    from .workloads import (
-        HPIOWorkload,
-        IORWorkload,
-        SyntheticMixWorkload,
-        TileIOWorkload,
-    )
-
-    if args.workload == "ior":
-        return IORWorkload(
-            args.processes, args.request_size, args.file_size,
-            pattern=args.pattern, seed=args.seed,
-            requests_per_rank=args.requests_per_rank,
-        )
-    if args.workload == "hpio":
-        return HPIOWorkload(
-            args.processes, region_count=args.requests_per_rank or 512,
-            region_size=args.request_size, region_spacing=args.spacing,
-            seed=args.seed,
-        )
-    if args.workload == "tileio":
-        return TileIOWorkload(
-            args.processes, element_size=args.request_size, seed=args.seed
-        )
-    return SyntheticMixWorkload(
-        args.processes, args.file_size, random_fraction=0.5,
-        random_request=args.request_size, seed=args.seed,
-    )
 
 
 def _print_comparison(stock, s4d) -> None:
@@ -110,15 +51,25 @@ def _print_comparison(stock, s4d) -> None:
 
 
 def cmd_compare(args) -> int:
-    from .cluster import run_workload
+    from .parallel import fanout
+    from .parallel.workers import run_compare_task
 
-    workload = _build_workload(args)
-    spec = _spec_from(args, workload.processes)
+    workload = build_workload(args)
     print(f"workload: {workload!r}")
-    print("running stock system ...")
-    stock = run_workload(spec, workload, s4d=False)
-    print("running S4D-Cache ...")
-    s4d = run_workload(spec, workload, s4d=True)
+    # Only the flag values cross the process boundary (set_defaults
+    # planted the handler function on the namespace; drop it).
+    flags = argparse.Namespace(
+        **{k: v for k, v in vars(args).items() if k != "func"}
+    )
+    # The stock and S4D campaigns are independent simulations; with
+    # --jobs 2 they run side by side (identical output either way —
+    # fanout's merge is positional).
+    stock, s4d = fanout(
+        [("stock", (flags, False)), ("s4d", (flags, True))],
+        run_compare_task,
+        jobs=args.jobs,
+        progress=lambda msg: print(msg, flush=True),
+    )
     _print_comparison(stock, s4d)
     return 0
 
@@ -133,8 +84,8 @@ def cmd_trace(args) -> int:
         write_jsonl,
     )
 
-    workload = _build_workload(args)
-    spec = _spec_from(args, workload.processes)
+    workload = build_workload(args)
+    spec = spec_from(args, workload.processes)
     tracer = Tracer()
     system = "stock" if args.stock else "S4D-Cache"
     print(f"workload: {workload!r}")
@@ -167,7 +118,7 @@ def cmd_calibrate(args) -> int:
     from .cluster import calibrate_cost_params
     from .core import CostModel
 
-    spec = _spec_from(args, processes=8)
+    spec = spec_from(args, processes=8)
     params = calibrate_cost_params(spec)
     model = CostModel(params)
     print("profiled cost-model parameters (Table I):")
@@ -191,7 +142,7 @@ def cmd_replay(args) -> int:
     from .workloads import TraceWorkload
 
     workload = TraceWorkload(args.trace)
-    spec = _spec_from(args, workload.processes)
+    spec = spec_from(args, workload.processes)
     print(f"replaying {len(workload.requests)} requests over "
           f"{workload.processes} ranks")
     stock = run_workload(spec, workload, s4d=False)
@@ -222,16 +173,17 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare", help="stock vs S4D on a workload")
-    _add_workload_args(compare)
-    _add_cluster_args(compare)
+    add_workload_args(compare)
+    add_cluster_args(compare)
+    add_jobs_arg(compare)
     compare.set_defaults(func=cmd_compare)
 
     trace = sub.add_parser(
         "trace",
         help="run one traced workload, export a Perfetto-loadable trace",
     )
-    _add_workload_args(trace)
-    _add_cluster_args(trace)
+    add_workload_args(trace)
+    add_cluster_args(trace)
     trace.add_argument("--out", default="trace.json",
                        help="Chrome trace-event output file")
     trace.add_argument("--jsonl", default=None,
@@ -246,12 +198,12 @@ def main(argv: list[str] | None = None) -> int:
     calibrate = sub.add_parser(
         "calibrate", help="profile the stack, print cost-model parameters"
     )
-    _add_cluster_args(calibrate)
+    add_cluster_args(calibrate)
     calibrate.set_defaults(func=cmd_calibrate)
 
     replay = sub.add_parser("replay", help="replay a request trace")
     replay.add_argument("trace", help="trace file (rank op offset size)")
-    _add_cluster_args(replay)
+    add_cluster_args(replay)
     replay.set_defaults(func=cmd_replay)
 
     sub.add_parser(

@@ -4,6 +4,7 @@ DET001  wall-clock reads outside sanctioned reporting code
 DET002  global ``random`` / ``numpy.random`` default-generator use
 DET003  iteration over unordered collections in sim-critical code
 DET004  ``id()`` used as a key, membership probe, or sort tie-breaker
+DET005  host CPU-count reads (pool-width values must never reach results)
 """
 
 from __future__ import annotations
@@ -103,6 +104,47 @@ class GlobalRandomRule(Rule):
                         f"numpy global-generator call {qualified}(); use "
                         "numpy.random.default_rng(seed) or RandomStreams",
                     )
+        self.generic_visit(node)
+
+
+#: Functions whose return value depends on the host's core count or
+#: CPU affinity mask — machine shape, not experiment configuration.
+CPU_COUNT_CALLS = frozenset({
+    "os.cpu_count",
+    "os.process_cpu_count",
+    "os.sched_getaffinity",
+    "multiprocessing.cpu_count",
+    "multiprocessing.context.BaseContext.cpu_count",
+})
+
+
+@register_rule
+class CpuCountRule(Rule):
+    """DET005: the host core count sizes worker pools, nothing else.
+
+    ``--jobs`` only changes wall time — a sweep must produce identical
+    bits at any pool width (``repro.parallel`` merges positionally).  A
+    ``cpu_count()`` value flowing anywhere near simulation parameters,
+    seeds or result payloads silently varies results across machines;
+    the sanctioned pool-sizing reads carry an inline disable."""
+
+    code = "DET005"
+    name = "no-cpu-count"
+    rationale = (
+        "os.cpu_count()/sched_getaffinity() differ across hosts; results "
+        "must be --jobs-invariant, so core counts may only size worker "
+        "pools (repro.parallel.pool, with an inline disable)"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self.qualified(node.func)
+        if qualified in CPU_COUNT_CALLS:
+            self.report(
+                node,
+                f"host-shape call {qualified}() is machine-dependent; "
+                "use repro.parallel.resolve_jobs for pool sizing and "
+                "keep the value out of results",
+            )
         self.generic_visit(node)
 
 

@@ -16,6 +16,7 @@ import platform
 import subprocess
 import sys
 
+from ..cliutil import add_jobs_arg
 from .suite import compare_to_baseline, run_suite, suite_names
 
 
@@ -85,6 +86,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.25)")
     parser.add_argument("--list", action="store_true",
                         help="list benchmark names and exit")
+    parser.add_argument("--parallel-receipt", default=None, metavar="PATH",
+                        help="measure the parallel sweep + coalescing "
+                             "fast path, write a BENCH_parallel.json "
+                             "receipt, and exit")
+    add_jobs_arg(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -92,9 +98,18 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.parallel_receipt is not None:
+        from .parallel_receipt import write_receipt
+
+        return write_receipt(
+            args.parallel_receipt, jobs=args.jobs if args.jobs > 1 else 4,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
     results = run_suite(
         scale=args.scale, only=args.only, repeats=args.repeat,
         progress=lambda msg: print(msg, flush=True),
+        jobs=args.jobs,
     )
 
     if args.json is not None:

@@ -1,0 +1,173 @@
+"""The BENCH_parallel.json receipt: parallel sweep + coalescing proof.
+
+Two measurements back the perf PR's claims, committed as
+``benchmarks/perf/BENCH_parallel.json``:
+
+- **sweep**: the golden experiment subset run serially and with
+  ``--jobs N``; the receipt records both wall clocks, the speedup, the
+  host core count (a 1-core machine cannot speed up, only the digest
+  half of the claim is testable there) and — the part that must hold
+  everywhere — that the parallel digests are bit-identical to serial.
+- **coalescing**: a fig6-style sequential large-request IOR campaign
+  with ``ClusterSpec.coalesce`` off and on; the receipt records the
+  simulated PFS message count (``fabric.total_transfers``), engine
+  events and bytes moved for both, showing fewer messages for exactly
+  the same bytes.
+
+Wall-clock reads here are sanctioned: this is reporting-only bench
+code (the ``[tool.simlint.allow]`` DET001 entry for ``*/bench/*``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+import typing
+
+#: The golden determinism subset, grouped by run_all scale.
+SWEEP_GROUPS: list[tuple[float, list[str]]] = [
+    (0.05, ["fig6a", "fig6b", "table3"]),
+    (0.1, ["fig9a", "fig9b"]),
+]
+
+
+def _sweep_digests(jobs: int) -> dict[str, str]:
+    """Run the golden subset at ``jobs`` workers; digests per point."""
+    from ..experiments import harness, report
+
+    digests: dict[str, str] = {}
+    for scale, only in SWEEP_GROUPS:
+        results = report.run_all(scale=scale, only=only, jobs=jobs)
+        for exp_id, result in results.items():
+            digests[f"{exp_id}@{scale}"] = harness.fingerprint_digest(result)
+    return digests
+
+
+def measure_sweep(jobs: int, progress=None) -> dict:
+    """Serial vs ``jobs``-wide sweep: wall clocks + digest equality."""
+    if progress:
+        progress(f"sweep: serial pass ({sum(len(o) for _, o in SWEEP_GROUPS)}"
+                 " experiments) ...")
+    t0 = time.perf_counter()
+    serial = _sweep_digests(jobs=1)
+    serial_wall = time.perf_counter() - t0
+    if progress:
+        progress(f"sweep: serial {serial_wall:.1f}s; --jobs {jobs} pass ...")
+    t0 = time.perf_counter()
+    parallel = _sweep_digests(jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+    if progress:
+        progress(f"sweep: --jobs {jobs} {parallel_wall:.1f}s")
+    return {
+        "points": sorted(serial),
+        "jobs": jobs,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 3)
+        if parallel_wall > 0 else 0.0,
+        "digests": serial,
+        "digests_match_serial": serial == parallel,
+    }
+
+
+def _run_coalesce_case(coalesce: bool) -> dict:
+    """One fig6-style sequential campaign; message/event/byte counts."""
+    from ..cluster import ClusterSpec, run_workload
+    from ..workloads import IORWorkload
+
+    spec = ClusterSpec(num_dservers=8, num_cservers=4, num_nodes=8,
+                      seed=42, coalesce=coalesce)
+    # 4 MiB sequential requests over 8 servers x 64 KiB stripes: each
+    # request splits into 64 stripe fragments, 8 per server — exactly
+    # the shape per-server-round coalescing collapses 8-to-1.
+    workload = IORWorkload(8, "4MB", "256MB", pattern="sequential",
+                           seed=42, requests_per_rank=8)
+    result = run_workload(spec, workload, s4d=False, read_runs=1)
+    cluster = result.cluster
+    issued = sum(c.subrequests_issued for c in cluster.direct._clients)
+    merged = sum(c.subrequests_coalesced for c in cluster.direct._clients)
+    return {
+        "coalesce": coalesce,
+        "pfs_subrequests": issued,
+        "subrequests_merged_away": merged,
+        "network_transfers": cluster.fabric.total_transfers,
+        "network_bytes": cluster.fabric.total_bytes,
+        "events_scheduled": cluster.sim.events_scheduled,
+        "sim_seconds": round(cluster.sim.now, 6),
+        "bytes_moved": sum(p.bytes_moved for p in result.phases.values()),
+        "write_bandwidth_mb": round(result.phases["write"].bandwidth_mb, 3),
+        "read_bandwidth_mb": round(result.phases["read1"].bandwidth_mb, 3),
+    }
+
+
+def measure_coalescing(progress=None) -> dict:
+    """Coalescing off vs on: fewer messages, same bytes."""
+    if progress:
+        progress("coalescing: baseline (off) ...")
+    off = _run_coalesce_case(False)
+    if progress:
+        progress("coalescing: fast path (on) ...")
+    on = _run_coalesce_case(True)
+    from ..pfs.client import HEADER_BYTES
+
+    reduction = (
+        1.0 - on["pfs_subrequests"] / off["pfs_subrequests"]
+        if off["pfs_subrequests"] else 0.0
+    )
+    # Wire bytes shrink by exactly the per-message headers the merged
+    # messages no longer carry; the application payload is untouched.
+    headers_saved = (
+        off["network_transfers"] - on["network_transfers"]
+    ) * HEADER_BYTES
+    return {
+        "workload": "IOR sequential, 8 ranks x 8 x 4MiB requests, "
+                    "8 DServers x 64KiB stripes, stock system",
+        "off": off,
+        "on": on,
+        "message_reduction": round(reduction, 4),
+        "bytes_identical": off["bytes_moved"] == on["bytes_moved"],
+        "header_bytes_saved": headers_saved,
+        "header_accounting_exact":
+            off["network_bytes"] - on["network_bytes"] == headers_saved,
+        "events_saved": off["events_scheduled"] - on["events_scheduled"],
+    }
+
+
+def build_receipt(jobs: int = 4, progress=None) -> dict:
+    from .cli import _git_rev
+
+    return {
+        "schema": 1,
+        "kind": "parallel+coalescing receipt",
+        "rev": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),  # simlint: disable=DET005 - host metadata in a bench receipt
+        "sweep": measure_sweep(jobs, progress=progress),
+        "coalescing": measure_coalescing(progress=progress),
+    }
+
+
+def write_receipt(
+    path: str, jobs: int = 4,
+    progress: typing.Callable[[str], None] | None = None,
+) -> int:
+    """Build and write the receipt; exit status for the CLI."""
+    receipt = build_receipt(jobs=jobs, progress=progress)
+    with open(path, "w") as fh:
+        json.dump(receipt, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    sweep = receipt["sweep"]
+    coal = receipt["coalescing"]
+    if progress:
+        progress(
+            f"wrote {path}: sweep {sweep['serial_wall_s']}s -> "
+            f"{sweep['parallel_wall_s']}s (x{sweep['speedup']}, "
+            f"{receipt['cpus']} cpus), digests match: "
+            f"{sweep['digests_match_serial']}; coalescing "
+            f"-{coal['message_reduction'] * 100:.1f}% messages, "
+            f"bytes identical: {coal['bytes_identical']}"
+        )
+    return 0 if sweep["digests_match_serial"] and coal["bytes_identical"] else 1

@@ -310,12 +310,30 @@ def run_suite(
     only: typing.Sequence[str] | None = None,
     repeats: int | None = None,
     progress: typing.Callable[[str], None] | None = None,
+    jobs: int | None = None,
 ) -> list[BenchResult]:
-    """Run (a subset of) the suite; returns one result per benchmark."""
+    """Run (a subset of) the suite; returns one result per benchmark.
+
+    ``jobs > 1`` distributes benchmark names across a worker pool
+    (suite order preserved).  Concurrent benchmarks compete for cores,
+    so parallel wall times are for quick turnaround, not for committing
+    as baselines — measure baselines serially.
+    """
     names = list(only) if only else suite_names()
     unknown = [n for n in names if n not in SUITE]
     if unknown:
         raise ValueError(f"unknown benchmarks {unknown}; have {suite_names()}")
+    if jobs is not None and jobs != 1 and len(names) > 1:
+        from ..parallel import fanout
+        from ..parallel.workers import run_bench_task
+
+        results = fanout(
+            [(name, (name, scale, repeats)) for name in names],
+            run_bench_task,
+            jobs=jobs,
+            progress=progress,
+        )
+        return results
     results = []
     for name in names:
         builder, default_repeats = SUITE[name]

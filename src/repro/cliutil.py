@@ -1,0 +1,94 @@
+"""Shared argparse plumbing for the CLIs.
+
+``python -m repro`` (compare/trace/calibrate/replay) and
+``python -m repro.experiments`` grew the same workload/cluster flag
+blocks independently; this module is the single copy both import.
+Everything here is CLI-only — no simulation state.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """The workload-shape flag block (generator, sizes, pattern)."""
+    parser.add_argument("--workload", default="ior",
+                        choices=["ior", "hpio", "tileio", "mix"])
+    parser.add_argument("--processes", type=int, default=8)
+    parser.add_argument("--request-size", default="16KB")
+    parser.add_argument("--file-size", default="2GB")
+    parser.add_argument("--pattern", default="random",
+                        choices=["sequential", "random"])
+    parser.add_argument("--requests-per-rank", type=int, default=128)
+    parser.add_argument("--spacing", default="4KB",
+                        help="HPIO region spacing")
+
+
+def add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    """The cluster-shape flag block (servers, policy, seed)."""
+    parser.add_argument("--dservers", type=int, default=8)
+    parser.add_argument("--cservers", type=int, default=4)
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="compute nodes (default: one per process)")
+    parser.add_argument("--policy", default="selective")
+    parser.add_argument("--cache-fraction", type=float, default=0.20)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--coalesce", action="store_true",
+                        help="merge per-server-contiguous stripe fragments "
+                             "before issuing PFS sub-requests")
+
+
+def add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    """The ``--jobs`` flag: deterministic parallel fan-out width."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent runs (0 = all cores; "
+             "output is bit-identical to --jobs 1)",
+    )
+
+
+def spec_from(args: argparse.Namespace, processes: int):
+    """Build a ClusterSpec from a cluster-flag namespace."""
+    from .cluster import ClusterSpec
+
+    return ClusterSpec(
+        num_dservers=args.dservers,
+        num_cservers=args.cservers,
+        num_nodes=args.nodes or min(processes, 32),
+        cache_fraction=args.cache_fraction,
+        policy=args.policy,
+        seed=args.seed,
+        coalesce=getattr(args, "coalesce", False),
+    )
+
+
+def build_workload(args: argparse.Namespace):
+    """Build the requested workload generator from a flag namespace."""
+    from .workloads import (
+        HPIOWorkload,
+        IORWorkload,
+        SyntheticMixWorkload,
+        TileIOWorkload,
+    )
+
+    if args.workload == "ior":
+        return IORWorkload(
+            args.processes, args.request_size, args.file_size,
+            pattern=args.pattern, seed=args.seed,
+            requests_per_rank=args.requests_per_rank,
+        )
+    if args.workload == "hpio":
+        return HPIOWorkload(
+            args.processes, region_count=args.requests_per_rank or 512,
+            region_size=args.request_size, region_spacing=args.spacing,
+            seed=args.seed,
+        )
+    if args.workload == "tileio":
+        return TileIOWorkload(
+            args.processes, element_size=args.request_size, seed=args.seed
+        )
+    return SyntheticMixWorkload(
+        args.processes, args.file_size, random_fraction=0.5,
+        random_request=args.request_size, seed=args.seed,
+    )

@@ -46,6 +46,12 @@ class ClusterSpec:
     rebuild_budget: int = 4 * 1024 * 1024
     #: Metadata lock shards per file (§III.D distributed metadata).
     metadata_shards: int = 1
+    #: Per-server-round sub-request coalescing (ROMIO-style): merge a
+    #: request's locally-contiguous stripe fragments into one message
+    #: per server before they hit the wire.  Off by default — merging
+    #: changes simulated request timing, and the golden determinism
+    #: fixtures pin the uncoalesced behaviour.
+    coalesce: bool = False
     #: RNG seed for the whole simulation.
     seed: int = 42
 

@@ -96,12 +96,16 @@ class S4DCacheMiddleware(IOLayer):
         # Cache-side PFS clients: one per compute node (the redirected
         # request is issued by the same node that issued the original),
         # plus a dedicated mover endpoint for the Rebuilder.
+        coalesce = direct.coalesce
         self._cpfs_clients = [
-            PFSClient(sim, cpfs, direct.fabric, direct.node_for(node))
+            PFSClient(sim, cpfs, direct.fabric, direct.node_for(node),
+                      coalesce=coalesce)
             for node in range(direct.num_nodes)
         ]
-        self._mover_opfs = PFSClient(sim, direct.pfs, direct.fabric, "mover")
-        self._mover_cpfs = PFSClient(sim, cpfs, direct.fabric, "mover")
+        self._mover_opfs = PFSClient(sim, direct.pfs, direct.fabric, "mover",
+                                     coalesce=coalesce)
+        self._mover_cpfs = PFSClient(sim, cpfs, direct.fabric, "mover",
+                                     coalesce=coalesce)
         self.rebuilder = Rebuilder(
             sim,
             self.dmt,

@@ -81,3 +81,23 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver failed to produce its table/figure."""
+
+
+class ParallelError(ReproError):
+    """The parallel fan-out runner was misused (bad job count, ...)."""
+
+
+class WorkerCrashError(ParallelError):
+    """A fan-out worker crashed; carries the failing task's identity.
+
+    ``task_id`` names the configuration that failed (e.g. the
+    experiment id), ``worker_traceback`` is the worker-side traceback
+    text — both also appear in ``str(error)`` so a CLI run surfaces
+    the failing config without any extra handling.
+    """
+
+    def __init__(self, task_id: str, worker_traceback: str = ""):
+        self.task_id = task_id
+        self.worker_traceback = worker_traceback
+        detail = f"\n{worker_traceback}" if worker_traceback else ""
+        super().__init__(f"worker crashed on task {task_id!r}{detail}")

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments                 # all, default scales
     python -m repro.experiments --scale 0.25    # faster
     python -m repro.experiments --only fig6a fig6b
+    python -m repro.experiments --jobs 4        # parallel, same output
     python -m repro.experiments --out /tmp/EXPERIMENTS.md
 """
 
@@ -13,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..cliutil import add_jobs_arg
 from .harness import list_experiments
 from .report import render_markdown, run_all
 
@@ -37,6 +39,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
+    add_jobs_arg(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -47,6 +50,7 @@ def main(argv: list[str] | None = None) -> int:
     results = run_all(
         scale=args.scale, only=args.only,
         progress=lambda msg: print(msg, flush=True),
+        jobs=args.jobs,
     )
     scale_note = (
         f"--scale {args.scale}" if args.scale is not None

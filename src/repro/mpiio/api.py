@@ -96,6 +96,7 @@ class DirectIO(IOLayer):
         fabric: Fabric,
         num_nodes: int = 32,
         node_prefix: str = "node",
+        coalesce: bool = False,
     ):
         if num_nodes < 1:
             raise MPIIOError(f"need at least one compute node: {num_nodes}")
@@ -103,8 +104,11 @@ class DirectIO(IOLayer):
         self.pfs = pfs
         self.fabric = fabric
         self.num_nodes = num_nodes
+        #: Per-server-round sub-request coalescing for every client of
+        #: this layer (middleware clients inherit the same setting).
+        self.coalesce = coalesce
         self._clients = [
-            PFSClient(sim, pfs, fabric, f"{node_prefix}{i}")
+            PFSClient(sim, pfs, fabric, f"{node_prefix}{i}", coalesce=coalesce)
             for i in range(num_nodes)
         ]
         self._handles: dict[str, FileHandle] = {}

@@ -39,13 +39,47 @@ def coalesce(segments: list[Segment], max_hole: int) -> list[Segment]:
     return merged
 
 
-def sieve_read(mpifile, segments: list[Segment], max_hole: int):
+def coalesce_striped(
+    segments: list[Segment], max_hole: int, stripe: int
+) -> list[Segment]:
+    """Stripe-aware sieving: additionally close holes inside one stripe.
+
+    Two segments separated by a hole that never leaves the current
+    stripe land on the same server either way, so sieving across that
+    hole adds no server round — it only removes a wire message (the
+    same per-server-round argument behind
+    :func:`repro.pfs.layout.coalesce_subrequests`).  Holes that cross a
+    stripe boundary still obey ``max_hole``.
+    """
+    if stripe <= 0:
+        raise MPIIOError(f"stripe must be positive: {stripe}")
+    merged: list[Segment] = []
+    for off, size in coalesce(segments, max_hole):
+        if merged:
+            prev_off, prev_size = merged[-1]
+            prev_end = prev_off + prev_size
+            if prev_end // stripe == off // stripe:
+                merged[-1] = (prev_off, off + size - prev_off)
+                continue
+        merged.append((off, size))
+    return merged
+
+
+def sieve_read(mpifile, segments: list[Segment], max_hole: int,
+               stripe: int | None = None):
     """Read noncontiguous ``segments`` via sieved large requests.
 
-    Process generator; returns the list of IOResults actually issued.
+    ``stripe`` enables stripe-aware coalescing (holes confined to one
+    stripe are sieved regardless of ``max_hole`` — reads discard hole
+    bytes, so this is free).  Process generator; returns the list of
+    IOResults actually issued.
     """
+    if stripe is None:
+        plan = coalesce(segments, max_hole)
+    else:
+        plan = coalesce_striped(segments, max_hole, stripe)
     results = []
-    for offset, size in coalesce(segments, max_hole):
+    for offset, size in plan:
         result = yield from mpifile.read_at(offset, size)
         results.append(result)
     return results

@@ -1,0 +1,28 @@
+"""Deterministic parallel fan-out for experiment/bench/compare sweeps.
+
+Public surface:
+
+- :func:`fanout` / :func:`resolve_jobs` — the ordered-merge worker
+  pool (``repro.parallel.pool``);
+- :func:`run_sharded` / :func:`share_groups` — experiment-sweep
+  sharding with memoisation-preserving grouping
+  (``repro.parallel.experiments``);
+- :class:`~repro.errors.WorkerCrashError` — re-exported for callers
+  that want to catch crashes without importing :mod:`repro.errors`.
+"""
+
+from ..errors import ParallelError, WorkerCrashError
+from .experiments import run_sharded, share_groups
+from .pool import Task, Worker, fanout, os_cpu_count, resolve_jobs
+
+__all__ = [
+    "ParallelError",
+    "Task",
+    "Worker",
+    "WorkerCrashError",
+    "fanout",
+    "os_cpu_count",
+    "resolve_jobs",
+    "run_sharded",
+    "share_groups",
+]

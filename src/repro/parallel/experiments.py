@@ -1,0 +1,97 @@
+"""Shard the experiment sweep across the fan-out pool.
+
+The shard unit is a **share group**: all experiments registered from
+one driver module (``fig6a``/``fig6b`` share a memoised measurement
+campaign; splitting them across workers would re-run the campaign
+twice).  Inside a worker the group's experiments run in the same
+sorted order the serial sweep uses, so per-group output is identical
+to the serial runner's — and the positional merge in
+:func:`repro.parallel.pool.fanout` makes the whole sweep bit-identical
+to a serial run (the golden-digest tests assert exactly that).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..errors import ExperimentError
+from .pool import Task, fanout
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.harness import ExperimentResult
+    from ..obs import MetricsRegistry
+
+
+def share_groups(
+    exp_ids: typing.Sequence[str],
+) -> list[tuple[str, list[str]]]:
+    """Group experiment ids by driver module, sorted both ways.
+
+    Returns ``(group_name, [exp_id, ...])`` pairs; the group name is
+    the driver module's short name (``fig6_ior_reqsize``).  Unknown
+    ids raise the same :class:`ExperimentError` the serial path would.
+    """
+    from ..experiments.harness import get_experiment
+
+    groups: dict[str, list[str]] = {}
+    for exp_id in sorted(exp_ids):
+        experiment = get_experiment(exp_id)
+        module = type(experiment).__module__.rsplit(".", 1)[-1]
+        groups.setdefault(module, []).append(exp_id)
+    return sorted(groups.items())
+
+
+def run_group(payload: tuple[list[str], float | None]) -> dict:
+    """Worker: run one share group's experiments, in sorted id order.
+
+    Returns ``{exp_id: (ExperimentResult, wall_seconds)}``.  Results
+    are plain dataclasses (series + extras of counters), so they cross
+    the process boundary by pickling without dragging a simulator
+    along.
+    """
+    import time
+
+    # A spawn worker starts from a bare interpreter: importing the
+    # package registers every driver.
+    from ..experiments import harness  # noqa: F401
+    import repro.experiments  # noqa: F401
+
+    exp_ids, scale = payload
+    out = {}
+    for exp_id in exp_ids:
+        start = time.perf_counter()  # simlint: disable=DET001 - reporting only
+        result = harness.get_experiment(exp_id).run_checked(scale)
+        wall = time.perf_counter() - start  # simlint: disable=DET001 - reporting only
+        out[exp_id] = (result, wall)
+    return out
+
+
+def run_sharded(
+    exp_ids: typing.Sequence[str],
+    scale: float | None,
+    jobs: int,
+    progress: typing.Callable[[str], None] | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> dict[str, "ExperimentResult"]:
+    """Run ``exp_ids`` across ``jobs`` workers; merge in sorted order.
+
+    The returned dict iterates in sorted exp-id order — the same order
+    ``repro.experiments.report.run_all`` produces — with the worker's
+    wall-clock second appended as the standard "wall time" note.
+    """
+    groups = share_groups(exp_ids)
+    tasks: list[Task] = [
+        (name, (ids, scale)) for name, ids in groups
+    ]
+    merged: dict[str, ExperimentResult] = {}
+    for group_result in fanout(
+        tasks, run_group, jobs=jobs, progress=progress, metrics=metrics
+    ):
+        for exp_id, (result, wall) in group_result.items():
+            result.notes.append(f"wall time {wall:.1f}s")
+            merged[exp_id] = result
+    out = {exp_id: merged[exp_id] for exp_id in sorted(merged)}
+    if sorted(out) != sorted(exp_ids):
+        missing = sorted(set(exp_ids) - set(out))
+        raise ExperimentError(f"workers returned no result for {missing}")
+    return out

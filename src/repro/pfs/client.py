@@ -12,7 +12,7 @@ from ..obs import NULL_CONTEXT
 from ..sim.resources import PRIORITY_NORMAL
 from .content import next_stamp
 from .filesystem import PFS, PFSFile
-from .layout import split_request
+from .layout import coalesce_subrequests, split_request
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..obs import TraceContext
@@ -54,20 +54,34 @@ class PFSClient:
     request-over-network -> server device -> response-over-network, and
     all sub-requests proceed in parallel (the source of the parallelism
     that makes DServers competitive for large requests).
+
+    ``coalesce=True`` merges each server's locally-contiguous stripe
+    fragments into one wire message per server round before the flows
+    are spawned (ROMIO-style two-phase aggregation) — same bytes and
+    device addresses, fewer messages and fewer simulated events.  It
+    is off by default because merging changes simulated request
+    timing, and the golden determinism fixtures pin the uncoalesced
+    behaviour (see docs/ARCHITECTURE.md, "Parallel execution").
     """
 
     def __init__(
-        self, sim: "Simulator", pfs: PFS, fabric: Fabric, endpoint: str
+        self, sim: "Simulator", pfs: PFS, fabric: Fabric, endpoint: str,
+        coalesce: bool = False,
     ):
         self.sim = sim
         self.pfs = pfs
         self.fabric = fabric
         self.endpoint = endpoint
+        self.coalesce = coalesce
         fabric.add_endpoint(endpoint)
         for server in pfs.servers:
             fabric.add_endpoint(server.name)
         self.requests_issued = 0
         self.bytes_moved = 0
+        #: Sub-requests actually put on the wire.
+        self.subrequests_issued = 0
+        #: Stripe fragments absorbed by coalescing (0 when disabled).
+        self.subrequests_coalesced = 0
 
     # -- public API -----------------------------------------------------
     def read(
@@ -115,6 +129,11 @@ class PFSClient:
             ctx = NULL_CONTEXT
         start = self.sim.now
         subs = split_request(offset, size, self.pfs.stripe_size, self.pfs.num_servers)
+        if self.coalesce and len(subs) > self.pfs.num_servers:
+            fragments = len(subs)
+            subs = coalesce_subrequests(subs)
+            self.subrequests_coalesced += fragments - len(subs)
+        self.subrequests_issued += len(subs)
         span = None
         if ctx is not NULL_CONTEXT:
             span = ctx.begin(

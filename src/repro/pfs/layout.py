@@ -91,6 +91,41 @@ def coalesce_per_server(
     return [g for g in grouped if g]
 
 
+def coalesce_subrequests(subs: list[SubRequest]) -> list[SubRequest]:
+    """Merge each server's locally-contiguous stripe fragments.
+
+    A request spanning more than ``M`` stripes leaves every server with
+    several fragments that are *adjacent in the server's local address
+    space* (consecutive stripe slots).  The stock client ships each
+    fragment as its own network message; merging a contiguous run into
+    one sub-request is ROMIO-style per-server-round coalescing — same
+    bytes, same device addresses, fewer messages.
+
+    The merged list preserves the original round-robin issue order by
+    each run's first fragment (``file_offset``), so issue order stays
+    deterministic.  Input order within one server is assumed ascending
+    in ``local_offset`` (what :func:`split_request` produces).
+    """
+    if len(subs) <= 1:
+        return subs
+    runs: dict[int, SubRequest] = {}  # server -> open run
+    merged: list[SubRequest] = []
+    for sub in subs:
+        run = runs.get(sub.server)
+        if run is not None and run.local_offset + run.length == sub.local_offset:
+            runs[sub.server] = SubRequest(
+                run.server, run.local_offset, run.length + sub.length,
+                run.file_offset,
+            )
+        else:
+            if run is not None:
+                merged.append(run)
+            runs[sub.server] = sub
+    merged.extend(runs.values())
+    merged.sort(key=lambda s: s.file_offset)
+    return merged
+
+
 def involved_servers(offset: int, size: int, stripe: int, servers: int) -> int:
     """Actual number of distinct servers touched by the request."""
     _validate(offset, size, stripe, servers)

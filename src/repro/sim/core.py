@@ -58,6 +58,17 @@ class Simulator:
         #: and differs across runs (DET004).
         self._crashed: dict[int, BaseException] = {}
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled — the engine-work odometer.
+
+        Reads the sequence counter the run queue/heap already maintain,
+        so exposing it costs the hot loop nothing.  Bench receipts use
+        it to show how much event-loop work an optimisation (e.g.
+        sub-request coalescing) removed.
+        """
+        return self._seq
+
     # -- event creation helpers -----------------------------------------
     def event(self) -> Event:
         """Create a fresh untriggered event."""

@@ -64,7 +64,7 @@ def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in (
-        "DET001", "DET002", "DET003", "DET004",
+        "DET001", "DET002", "DET003", "DET004", "DET005",
         "SIM001", "SIM002", "OBS001", "ERR001",
     ):
         assert code in out

@@ -1,0 +1,89 @@
+"""DET005: host CPU-count reads must not leak into results."""
+
+from .util import PLAIN_PATH, codes, lint_snippet
+
+
+def test_os_cpu_count_flagged():
+    findings = lint_snippet(
+        """
+        import os
+
+        def shards():
+            return os.cpu_count()
+        """
+    )
+    assert codes(findings) == ["DET005"]
+    assert "os.cpu_count()" in findings[0].message
+
+
+def test_flagged_outside_sim_packages_too():
+    findings = lint_snippet(
+        """
+        import os
+
+        def shards():
+            return os.cpu_count()
+        """,
+        rel_path=PLAIN_PATH,
+    )
+    assert codes(findings) == ["DET005"]
+
+
+def test_multiprocessing_cpu_count_flagged():
+    findings = lint_snippet(
+        """
+        import multiprocessing
+
+        def width():
+            return multiprocessing.cpu_count()
+        """
+    )
+    assert codes(findings) == ["DET005"]
+
+
+def test_sched_getaffinity_flagged():
+    findings = lint_snippet(
+        """
+        import os
+
+        def width():
+            return len(os.sched_getaffinity(0))
+        """
+    )
+    assert codes(findings) == ["DET005"]
+
+
+def test_from_import_alias_resolved():
+    findings = lint_snippet(
+        """
+        from os import cpu_count as ncpu
+
+        def width():
+            return ncpu()
+        """
+    )
+    assert codes(findings) == ["DET005"]
+
+
+def test_inline_disable_honoured():
+    findings = lint_snippet(
+        """
+        import os
+
+        def pool_width():
+            return os.cpu_count() or 1  # simlint: disable=DET005 - pool sizing
+        """
+    )
+    assert findings == []
+
+
+def test_unrelated_os_attribute_not_flagged():
+    findings = lint_snippet(
+        """
+        import os
+
+        def here():
+            return os.getcwd()
+        """
+    )
+    assert findings == []

@@ -90,3 +90,45 @@ def test_sieve_write_with_holes_does_rmw(stack):
         assert all(r.size == 12 * KiB for r in results)
 
     MPIJob(sim, layer, size=1).run(body)
+
+
+def test_coalesce_striped_closes_same_stripe_holes():
+    from repro.mpiio.datasieve import coalesce_striped
+
+    stripe = 64
+    # Hole of 20 bytes confined to the stripe the next segment starts
+    # in: sieved regardless of max_hole.
+    segs = [(0, 20), (40, 20)]
+    assert coalesce_striped(segs, max_hole=0, stripe=stripe) == [(0, 60)]
+    # Hole crossing a stripe boundary still obeys max_hole.
+    segs = [(0, 20), (stripe + 10, 20)]
+    assert coalesce_striped(segs, max_hole=0, stripe=stripe) == segs
+    assert coalesce_striped(segs, max_hole=stripe, stripe=stripe) == [
+        (0, stripe + 30)
+    ]
+
+
+def test_coalesce_striped_rejects_bad_stripe():
+    from repro.mpiio.datasieve import coalesce_striped
+
+    with pytest.raises(MPIIOError):
+        coalesce_striped([(0, 10)], max_hole=0, stripe=0)
+
+
+def test_sieve_read_stripe_aware_issues_fewer_requests(stack):
+    sim, layer = stack
+    # 4 KiB pieces every 8 KiB: the 4 KiB holes stay inside one 64 KiB
+    # stripe, so stripe-aware sieving merges them even with max_hole=0.
+    segments = [(i * 8 * KiB, 4 * KiB) for i in range(8)]
+
+    def body(ctx):
+        f = yield from ctx.open("/data", 4 * MiB)
+        yield from f.write_at(0, MiB)
+        strict = yield from sieve_read(f, segments, max_hole=0)
+        aware = yield from sieve_read(f, segments, max_hole=0,
+                                      stripe=64 * KiB)
+        assert len(strict) == len(segments)
+        assert len(aware) < len(strict)
+        assert sum(r.size for r in aware) >= sum(s for _, s in segments)
+
+    MPIJob(sim, layer, size=1).run(body)

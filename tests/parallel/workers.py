@@ -1,0 +1,26 @@
+"""Module-level workers for the pool tests.
+
+The spawn start method pickles workers by qualified name, so anything
+a test sends to ``fanout`` must live here, not in a test function.
+"""
+
+from __future__ import annotations
+
+
+def square(payload: int) -> int:
+    return payload * payload
+
+
+def crash_on_three(payload: int) -> int:
+    if payload == 3:
+        raise ValueError(f"synthetic failure on payload {payload}")
+    return payload * 10
+
+
+def seeded_draws(payload) -> list[float]:
+    """Per-task seeded RNG: results depend on the payload seed only."""
+    from repro.sim.rng import RandomStreams
+
+    seed, n = payload
+    stream = RandomStreams(seed).stream("pool-test")
+    return [stream.random() for _ in range(n)]

@@ -9,6 +9,7 @@ Usage::
     python -m repro replay mytrace.txt
     python -m repro lint src tests             # forwards
     python -m repro experiments --only fig6a   # forwards
+    python -m repro monitor series.jsonl       # live run monitor
 
 Everything the CLI does is also a two-liner against the library; the
 CLI exists so a reproduction reviewer can poke the system without
@@ -23,9 +24,11 @@ import sys
 from .cliutil import (
     add_cluster_args,
     add_jobs_arg,
+    add_streaming_args,
     add_workload_args,
     build_workload,
     spec_from,
+    telemetry_from,
 )
 from .units import MiB, fmt_size
 
@@ -56,21 +59,43 @@ def cmd_compare(args) -> int:
 
     workload = build_workload(args)
     print(f"workload: {workload!r}")
+    telemetry = telemetry_from(args)
+    jobs = args.jobs
+    if telemetry is not None and jobs != 1:
+        # The session lives in this process; spawn workers cannot feed
+        # its series writers, so telemetry runs force a serial compare.
+        print("streaming telemetry enabled: forcing --jobs 1")
+        jobs = 1
     # Only the flag values cross the process boundary (set_defaults
     # planted the handler function on the namespace; drop it).
     flags = argparse.Namespace(
         **{k: v for k, v in vars(args).items() if k != "func"}
     )
-    # The stock and S4D campaigns are independent simulations; with
-    # --jobs 2 they run side by side (identical output either way —
-    # fanout's merge is positional).
-    stock, s4d = fanout(
-        [("stock", (flags, False)), ("s4d", (flags, True))],
-        run_compare_task,
-        jobs=args.jobs,
-        progress=lambda msg: print(msg, flush=True),
-    )
+
+    def run():
+        # The stock and S4D campaigns are independent simulations;
+        # with --jobs 2 they run side by side (identical output either
+        # way — fanout's merge is positional).
+        return fanout(
+            [("stock", (flags, False)), ("s4d", (flags, True))],
+            run_compare_task,
+            jobs=jobs,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if telemetry is not None:
+        with telemetry.activate():
+            stock, s4d = run()
+        telemetry.close()
+    else:
+        stock, s4d = run()
     _print_comparison(stock, s4d)
+    if telemetry is not None:
+        summary = telemetry.summary()
+        if summary:
+            print(summary)
+        for report in telemetry.profiler_reports:
+            print(report)
     return 0
 
 
@@ -90,10 +115,19 @@ def cmd_trace(args) -> int:
     system = "stock" if args.stock else "S4D-Cache"
     print(f"workload: {workload!r}")
     print(f"tracing {system} ...")
-    result = run_workload(
-        spec, workload, s4d=not args.stock, obs=tracer,
-        read_runs=args.read_runs,
-    )
+    telemetry = telemetry_from(args)
+    if telemetry is not None:
+        with telemetry.activate():
+            result = run_workload(
+                spec, workload, s4d=not args.stock, obs=tracer,
+                read_runs=args.read_runs,
+            )
+        telemetry.close()
+    else:
+        result = run_workload(
+            spec, workload, s4d=not args.stock, obs=tracer,
+            read_runs=args.read_runs,
+        )
     write_chrome(tracer, args.out)
     stats = tracer.stats()
     print(f"chrome trace: {args.out} "
@@ -111,6 +145,12 @@ def cmd_trace(args) -> int:
     print(f"tracer overhead: {stats.overhead_wall_seconds * 1e3:.1f}ms wall "
           f"({stats.records_per_wall_second:,.0f} records/s), "
           f"{stats.open_spans} spans left open")
+    if telemetry is not None:
+        summary = telemetry.summary()
+        if summary:
+            print(summary)
+        for report in telemetry.profiler_reports:
+            print(report)
     return 0
 
 
@@ -165,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
         from .bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "monitor":
+        from .obs.streaming.monitor import main as monitor_main
+
+        return monitor_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -176,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
     add_workload_args(compare)
     add_cluster_args(compare)
     add_jobs_arg(compare)
+    add_streaming_args(compare)
     compare.set_defaults(func=cmd_compare)
 
     trace = sub.add_parser(
@@ -193,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--stock", action="store_true",
                        help="trace the stock system instead of S4D-Cache")
     trace.add_argument("--read-runs", type=int, default=2)
+    add_streaming_args(trace)
     trace.set_defaults(func=cmd_trace)
 
     calibrate = sub.add_parser(
@@ -222,6 +268,12 @@ def main(argv: list[str] | None = None) -> int:
         "bench",
         help="perf microbenchmarks, BENCH_<rev>.json emission "
              "(python -m repro bench --json)",
+    )
+
+    sub.add_parser(
+        "monitor",
+        help="live run monitor: tail a streaming time-series file "
+             "(python -m repro monitor series.jsonl)",
     )
 
     args = parser.parse_args(argv)

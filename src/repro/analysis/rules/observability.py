@@ -1,6 +1,7 @@
-"""OBS rules: span lifecycle discipline for the tracing layer.
+"""OBS rules: lifecycle discipline for the observability layer.
 
 OBS001  root contexts / spans opened but never closed (span leak)
+OBS002  a sampler/telemetry started but never paused/stopped/closed
 """
 
 from __future__ import annotations
@@ -121,3 +122,74 @@ class SpanLeakRule(Rule):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_function(node)
         self.generic_visit(node)
+
+
+#: Receiver names that identify the streaming-telemetry API
+#: (``sampler.start``, ``self.telemetry.resume`` ...).
+_STREAM_HINTS = ("sampler", "telemetry")
+
+#: Methods that begin sampling / methods that seal it again.
+_STREAM_STARTERS = ("start", "resume")
+_STREAM_STOPPERS = ("pause", "stop", "close", "end_run", "finish")
+
+
+def _is_stream_receiver(func: ast.Attribute) -> bool:
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        tail = receiver.attr
+    elif isinstance(receiver, ast.Name):
+        tail = receiver.id
+    else:
+        return False
+    tail = tail.lower()
+    return any(hint in tail for hint in _STREAM_HINTS)
+
+
+@register_rule
+class UnstoppedSamplerRule(Rule):
+    """OBS002: a Sampler (or StreamTelemetry session) that is started
+    but never paused/stopped/closed keeps ticking to the end of the
+    simulation: its pending timeout becomes an orphan event in the heap
+    when the owner is dropped, the series writer is never flushed, and
+    — worst — popping the orphan tick advances the sim clock, which
+    shifts downstream float arithmetic and breaks bit-identical golden
+    digests.
+
+    Sampling lifecycles commonly span functions (resume at phase
+    start, pause in a finalize callback), so the rule is module-scoped:
+    a module that calls ``.start()``/``.resume()`` on a sampler/
+    telemetry-named receiver must also call one of
+    ``.pause()/.stop()/.close()/.end_run()/.finish()`` somewhere in the
+    same module."""
+
+    code = "OBS002"
+    name = "no-unstopped-sampler"
+    rationale = (
+        "a sampler started without a matching pause/close leaves an "
+        "orphan tick in the event heap and an unflushed series writer"
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        starters: list[ast.Call] = []
+        stopped = False
+        for sub in ast.walk(node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and _is_stream_receiver(sub.func)
+            ):
+                continue
+            if sub.func.attr in _STREAM_STARTERS:
+                starters.append(sub)
+            elif sub.func.attr in _STREAM_STOPPERS:
+                stopped = True
+        if not stopped:
+            for call in starters:
+                self.report(
+                    call,
+                    f"sampler/telemetry .{call.func.attr}() without any "
+                    ".pause()/.stop()/.close()/.end_run() in this "
+                    "module; the orphan tick advances the sim clock and "
+                    "the series writer is never flushed",
+                )
+        # Module scope is the whole check; no need to descend.

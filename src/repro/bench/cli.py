@@ -90,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure the parallel sweep + coalescing "
                              "fast path, write a BENCH_parallel.json "
                              "receipt, and exit")
+    parser.add_argument("--streaming-receipt", default=None, metavar="PATH",
+                        help="measure streaming-telemetry overhead, "
+                             "write a BENCH_streaming.json receipt, "
+                             "and exit")
     add_jobs_arg(parser)
     args = parser.parse_args(argv)
 
@@ -103,6 +107,14 @@ def main(argv: list[str] | None = None) -> int:
 
         return write_receipt(
             args.parallel_receipt, jobs=args.jobs if args.jobs > 1 else 4,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if args.streaming_receipt is not None:
+        from .streaming_receipt import write_receipt as write_streaming
+
+        return write_streaming(
+            args.streaming_receipt, scale=args.scale,
             progress=lambda msg: print(msg, flush=True),
         )
 

@@ -273,6 +273,49 @@ def _cdt_ops(scale: float):
     return build, admits + scans, "ops", "throughput"
 
 
+@bench("telemetry_stream")
+def _telemetry_stream(scale: float):
+    """Streaming-series hot path: observe + periodic window sampling.
+
+    The per-event cost a telemetered run adds on top of the engine:
+    one latency observe (windowed Welford + P² marker update) and one
+    counter add per event, with a full sample-row render every ~1000
+    observations (the 1s-cadence Sampler shape).
+    """
+    from ..obs.streaming.hub import LatencySeries
+    from ..obs.streaming.stats import QuantileSketch, WindowedCounter
+
+    iters = _scaled(60_000, scale, minimum=512)
+
+    class Clock:
+        __slots__ = ("now",)
+
+        def __init__(self):
+            self.now = 0.0
+
+    def build():
+        clock = Clock()
+        latency = LatencySeries(clock, 1.0, 8, QuantileSketch(),
+                                name="bench.latency")
+        counter = WindowedCounter(clock, 1.0, 8, name="bench.bytes")
+
+        def run():
+            observe = latency.observe
+            add = counter.add
+            for i in range(iters):
+                clock.now = i * 1e-3  # sweeps the full bucket ring
+                observe((i % 997) * 1e-6)
+                add(4096.0)
+                if i % 1000 == 0:
+                    latency.sample_fields()
+                    counter.as_dict()
+
+        return run
+
+    # One latency observe + one counter add per iteration.
+    return build, iters * 2, "observes", "throughput"
+
+
 # -- end-to-end ----------------------------------------------------------
 
 

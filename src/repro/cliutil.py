@@ -48,6 +48,64 @@ def add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_streaming_args(parser: argparse.ArgumentParser) -> None:
+    """The streaming-telemetry flag block (sampling, exports, profile).
+
+    Shared by ``repro compare``/``trace`` and ``repro.experiments``;
+    build the session with :func:`telemetry_from`.
+    """
+    group = parser.add_argument_group("streaming telemetry")
+    group.add_argument(
+        "--sample-interval", type=float, default=None, metavar="SECONDS",
+        help="sim-time cadence for streaming series samples "
+             "(enables the time-series export; implies --jobs 1)",
+    )
+    group.add_argument(
+        "--series-out", default=None, metavar="PATH",
+        help="time-series output file (default series.jsonl when "
+             "--sample-interval is given)",
+    )
+    group.add_argument(
+        "--series-format", choices=["jsonl", "csv"], default="jsonl",
+        help="time-series file format (default jsonl; the monitor "
+             "tails jsonl)",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write end-of-run registry snapshot(s) as JSON "
+             "(implies --jobs 1)",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="attribute engine wall time to component callbacks and "
+             "print the breakdown at exit (implies --jobs 1)",
+    )
+
+
+def telemetry_from(args: argparse.Namespace):
+    """Build a StreamTelemetry session from a streaming-flag namespace.
+
+    Returns None when no telemetry flag was given.  When a session is
+    returned the caller must run serially (``jobs = 1``): the session
+    lives in this process and cannot follow work into spawn workers.
+    """
+    series_out = args.series_out
+    if series_out is None and args.sample_interval is not None:
+        series_out = "series.jsonl"
+    if (series_out is None and args.metrics_out is None
+            and not args.profile):
+        return None
+    from .obs.streaming import StreamTelemetry
+
+    return StreamTelemetry(
+        series_path=series_out,
+        interval=args.sample_interval,
+        series_format=args.series_format,
+        metrics_path=args.metrics_out,
+        profile=args.profile,
+    )
+
+
 def spec_from(args: argparse.Namespace, processes: int):
     """Build a ClusterSpec from a cluster-flag namespace."""
     from .cluster import ClusterSpec

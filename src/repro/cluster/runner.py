@@ -85,6 +85,7 @@ def run_workload(
     drain_between: bool = True,
     cluster: Cluster | None = None,
     obs=None,
+    telemetry=None,
 ) -> RunResult:
     """Execute a workload campaign; returns bandwidths and metrics.
 
@@ -96,6 +97,15 @@ def run_workload(
     ``obs`` is an optional :class:`repro.obs.Tracer`; when given it is
     bound to the cluster before the first phase so every request is
     traced end to end.
+
+    ``telemetry`` is an optional
+    :class:`repro.obs.streaming.StreamTelemetry`; when omitted the
+    module-global *active* session (``session.activate()``) is used,
+    so experiment drivers inherit streaming telemetry without
+    signature changes.  The session's sampler runs only while jobs
+    (and drains) are in flight and is paused at each job boundary —
+    pausing cancels the pending tick without advancing the clock, so
+    simulated results are bit-identical with telemetry on or off.
     """
     instances = list(workload) if isinstance(workload, (list, tuple)) else [workload]
     if not instances:
@@ -115,25 +125,38 @@ def run_workload(
     cluster.layer.tracer = tracer
     if obs is not None:
         obs.bind(cluster)
+    if telemetry is None:
+        from ..obs.streaming import active_telemetry
+
+        telemetry = active_telemetry()
+    if telemetry is not None:
+        telemetry.begin_run(cluster)
 
     results: dict[str, PhaseResult] = {}
-    for phase in phases:
-        if phase == "write":
-            results["write"] = _run_phase(cluster, instances, "write")
-            if cluster.middleware is not None and drain_between:
-                _drain(cluster)
-        elif phase == "read":
-            for run in range(1, read_runs + 1):
-                if cluster.middleware is not None:
-                    cluster.middleware.identifier.reset_streams()
-                results[f"read{run}"] = _run_phase(cluster, instances, "read")
+    try:
+        for phase in phases:
+            if phase == "write":
+                results["write"] = _run_phase(cluster, instances, "write",
+                                              telemetry)
                 if cluster.middleware is not None and drain_between:
-                    _drain(cluster)
-        elif phase == "interleaved":
-            _run_interleaved(cluster, instances, read_runs, drain_between,
-                             results)
-        else:
-            raise ExperimentError(f"unknown phase {phase!r}")
+                    _drain(cluster, telemetry)
+            elif phase == "read":
+                for run in range(1, read_runs + 1):
+                    if cluster.middleware is not None:
+                        cluster.middleware.identifier.reset_streams()
+                    results[f"read{run}"] = _run_phase(
+                        cluster, instances, "read", telemetry
+                    )
+                    if cluster.middleware is not None and drain_between:
+                        _drain(cluster, telemetry)
+            elif phase == "interleaved":
+                _run_interleaved(cluster, instances, read_runs,
+                                 drain_between, results, telemetry)
+            else:
+                raise ExperimentError(f"unknown phase {phase!r}")
+    finally:
+        if telemetry is not None:
+            telemetry.end_run()
     return RunResult(cluster=cluster, phases=results, tracer=tracer)
 
 
@@ -143,6 +166,7 @@ def _run_interleaved(
     read_runs: int,
     drain_between: bool,
     results: dict[str, PhaseResult],
+    telemetry=None,
 ) -> None:
     """IOR's actual structure: each instance writes then reads.
 
@@ -156,28 +180,29 @@ def _run_interleaved(
     write = PhaseResult("write", 0, 0.0, [])
     first_read = PhaseResult("read", 0, 0.0, [])
     for instance in instances:
-        part = _run_phase(cluster, [instance], "write")
+        part = _run_phase(cluster, [instance], "write", telemetry)
         write.bytes_moved += part.bytes_moved
         write.duration += part.duration
         write.per_instance.extend(part.per_instance)
-        part = _run_phase(cluster, [instance], "read")
+        part = _run_phase(cluster, [instance], "read", telemetry)
         first_read.bytes_moved += part.bytes_moved
         first_read.duration += part.duration
         first_read.per_instance.extend(part.per_instance)
     results["write"] = write
     results["read1"] = first_read
     if cluster.middleware is not None and drain_between:
-        _drain(cluster)
+        _drain(cluster, telemetry)
     for run in range(2, read_runs + 1):
         if cluster.middleware is not None:
             cluster.middleware.identifier.reset_streams()
-        results[f"read{run}"] = _run_phase(cluster, instances, "read")
+        results[f"read{run}"] = _run_phase(cluster, instances, "read",
+                                           telemetry)
         if cluster.middleware is not None and drain_between:
-            _drain(cluster)
+            _drain(cluster, telemetry)
 
 
 def _run_phase(
-    cluster: Cluster, instances: list[Workload], op: str
+    cluster: Cluster, instances: list[Workload], op: str, telemetry=None
 ) -> PhaseResult:
     total_bytes = 0
     duration = 0.0
@@ -186,7 +211,12 @@ def _run_phase(
         if cluster.middleware is not None:
             cluster.middleware.identifier.reset_streams()
         job = MPIJob(cluster.sim, cluster.layer, instance.processes)
-        stats = job.run(instance.make_body(op))
+        if telemetry is not None:
+            telemetry.resume(phase=op)
+            stats = job.run(instance.make_body(op),
+                            on_finalize=telemetry.pause)
+        else:
+            stats = job.run(instance.make_body(op))
         per_instance.append(stats)
         duration += MPIJob.makespan(stats)
         total_bytes += sum(
@@ -195,12 +225,16 @@ def _run_phase(
     return PhaseResult(op, total_bytes, duration, per_instance)
 
 
-def _drain(cluster: Cluster) -> None:
+def _drain(cluster: Cluster, telemetry=None) -> None:
     """Let the Rebuilder absorb pending flushes/fetches between phases."""
     middleware = cluster.middleware
     assert middleware is not None
+    if telemetry is not None:
+        telemetry.resume(phase="drain")
 
     def drain_body():
         yield from middleware.rebuilder.drain()
+        if telemetry is not None:
+            telemetry.pause()
 
     cluster.sim.run_process(drain_body(), name="drain")

@@ -125,6 +125,8 @@ class S4DCacheMiddleware(IOLayer):
         self._owner_names: dict[int, str] = {}
         #: Optional IOSIG tracer (set by the runner).
         self.tracer = None
+        #: Optional streaming request-latency series; None costs nothing.
+        self.stream = None
 
     # -- plumbing ---------------------------------------------------------
     @property
@@ -151,6 +153,11 @@ class S4DCacheMiddleware(IOLayer):
 
     def cpfs_client_for(self, rank: int) -> PFSClient:
         return self._cpfs_clients[rank % self.direct.num_nodes]
+
+    @property
+    def cpfs_clients(self) -> list[PFSClient]:
+        """All cache-side PFS clients (telemetry attachment point)."""
+        return self._cpfs_clients
 
     def _lock_key(self, path: str, offset: int) -> str:
         if self.metadata_shards == 1:
@@ -236,6 +243,8 @@ class S4DCacheMiddleware(IOLayer):
                                               size, priority, start, ctx)
         finally:
             plan.release()
+        if self.stream is not None:
+            self.stream.observe(self.sim.now - start)
         if self.tracer is not None:
             from ..iosig.tracer import TraceRecord
 

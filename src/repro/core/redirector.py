@@ -110,6 +110,8 @@ class Redirector:
         self.cdt = cdt
         self.space = space
         self.metrics = metrics if metrics is not None else CacheMetrics()
+        #: Optional streaming hooks (a CacheStream); None costs nothing.
+        self.stream = None
 
     def route(
         self,
@@ -216,6 +218,8 @@ class Redirector:
             self.metrics.write_hits += 1
         else:
             self.metrics.read_hits += 1
+        if self.stream is not None:
+            self.stream.hit(op, seg_size)
         self.space.touch(extent)
         plan.steps.append(
             RouteStep(TO_CSERVERS, seg_start, seg_size, c_offset, extent)
@@ -239,6 +243,8 @@ class Redirector:
             allocation = self.space.find_clean_space(c_file, seg_size, self.dmt)
         if allocation is None:
             self.metrics.write_bounced += 1
+            if self.stream is not None:
+                self.stream.bounced(seg_size)
             plan.steps.append(RouteStep(TO_DSERVERS, seg_start, seg_size))
             return
         extent = self.dmt.add(
@@ -254,6 +260,8 @@ class Redirector:
         self.space.touch(extent)
         plan.metadata_mutations += 1
         self.metrics.write_admitted += 1
+        if self.stream is not None:
+            self.stream.admitted(seg_size)
         plan.steps.append(
             RouteStep(TO_CSERVERS, seg_start, seg_size, allocation.c_offset, extent)
         )
@@ -267,10 +275,13 @@ class Redirector:
     ) -> None:
         """Lines 16-20: serve from DServers, mark for lazy caching."""
         self.metrics.read_misses += 1
-        if cdt_entry is not None and not cdt_entry.c_flag:
+        marked = cdt_entry is not None and not cdt_entry.c_flag
+        if marked:
             cdt_entry.c_flag = True
             plan.metadata_mutations += 1
             self.metrics.lazy_fetch_marks += 1
+        if self.stream is not None:
+            self.stream.read_miss(seg_size, marked)
         plan.steps.append(RouteStep(TO_DSERVERS, seg_start, seg_size))
 
     # -- accounting ----------------------------------------------------------

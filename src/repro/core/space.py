@@ -115,6 +115,8 @@ class CacheSpace:
         #: LRU recency: oldest first.  Maps extent id -> extent.
         self._recency: dict[int, DMTExtent] = {}
         self.evictions = 0
+        #: Optional streaming hooks (a CacheStream); None costs nothing.
+        self.stream = None
         # Negative-result cache for the victim scan.  In steady state
         # most :meth:`_oldest_clean` calls walk the whole recency dict
         # and find nothing (everything dirty/pinned, or nothing below
@@ -188,6 +190,8 @@ class CacheSpace:
         self._recency.pop(extent.record_id, None)
         self.release(extent.c_file, extent.c_offset, extent.length)
         self.evictions += 1
+        if self.stream is not None:
+            self.stream.evicted(extent.length)
 
     def release(self, c_file: str, c_offset: int, length: int) -> None:
         """Return a range to the free list (no DMT involvement)."""

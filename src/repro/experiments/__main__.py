@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..cliutil import add_jobs_arg
+from ..cliutil import add_jobs_arg, add_streaming_args, telemetry_from
 from .harness import list_experiments
 from .report import render_markdown, run_all
 
@@ -40,6 +40,7 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list experiment ids and exit"
     )
     add_jobs_arg(parser)
+    add_streaming_args(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -47,11 +48,33 @@ def main(argv: list[str] | None = None) -> int:
             print(exp_id)
         return 0
 
-    results = run_all(
-        scale=args.scale, only=args.only,
-        progress=lambda msg: print(msg, flush=True),
-        jobs=args.jobs,
-    )
+    telemetry = telemetry_from(args)
+    jobs = args.jobs
+    if telemetry is not None and jobs != 1:
+        # The session lives in this process; spawn workers cannot feed
+        # its series writers, so telemetry runs force a serial sweep.
+        print("streaming telemetry enabled: forcing --jobs 1")
+        jobs = 1
+
+    if telemetry is not None:
+        with telemetry.activate():
+            results = run_all(
+                scale=args.scale, only=args.only,
+                progress=lambda msg: print(msg, flush=True),
+                jobs=jobs,
+            )
+        telemetry.close()
+        summary = telemetry.summary()
+        if summary:
+            print(summary)
+        for report in telemetry.profiler_reports:
+            print(report)
+    else:
+        results = run_all(
+            scale=args.scale, only=args.only,
+            progress=lambda msg: print(msg, flush=True),
+            jobs=jobs,
+        )
     scale_note = (
         f"--scale {args.scale}" if args.scale is not None
         else "per-experiment defaults"

@@ -118,6 +118,11 @@ class DirectIO(IOLayer):
     def client_for(self, rank: int) -> PFSClient:
         return self._clients[rank % self.num_nodes]
 
+    @property
+    def clients(self) -> list[PFSClient]:
+        """All per-node PFS clients (telemetry attachment point)."""
+        return self._clients
+
     def node_for(self, rank: int) -> str:
         return self.client_for(rank).endpoint
 

@@ -111,8 +111,19 @@ class MPIJob:
         self.size = size
         self.barrier = Barrier(sim, size)
 
-    def run(self, body: RankBody) -> list[RankStats]:
-        """Execute the job to completion; returns per-rank stats."""
+    def run(
+        self,
+        body: RankBody,
+        on_finalize: typing.Callable[[], None] | None = None,
+    ) -> list[RankStats]:
+        """Execute the job to completion; returns per-rank stats.
+
+        ``on_finalize`` runs *inside* the simulation after the layer's
+        own finalize hook — the same point where the middleware stops
+        its Rebuilder.  Standing observer processes (the telemetry
+        sampler) stop themselves here, so the event queue can drain
+        and ``run_process`` can return.
+        """
 
         def one_rank(rank: int):
             ctx = RankContext(rank, self.size, self.layer, self.barrier)
@@ -128,6 +139,8 @@ class MPIJob:
             ]
             stats = yield self.sim.all_of(procs)
             yield from self.layer.finalize()
+            if on_finalize is not None:
+                on_finalize()
             return stats
 
         return self.sim.run_process(job(), name="mpijob")

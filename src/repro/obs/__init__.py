@@ -14,6 +14,9 @@ Three pieces:
 - **Telemetry** (:class:`MetricsRegistry`): one labelled snapshot API
   over the simulator's measurement primitives, the cache's counters
   and the tracer's own self-profiling.
+- **Streaming** (:mod:`repro.obs.streaming`): windowed series,
+  quantile sketches, the sim-time sampler/time-series export and the
+  ``python -m repro monitor`` live table.
 
 Entry point: ``python -m repro trace --workload ior ...``.
 """
@@ -29,6 +32,7 @@ from .export import (
     write_jsonl,
 )
 from .metrics import MetricsRegistry, registry_for_cluster, summarize
+from .streaming import StreamHub, StreamTelemetry, active_telemetry
 from .summary import BreakdownRow, latency_breakdown, render_breakdown
 from .tracer import NULL_TRACER, Tracer, TracerStats
 
@@ -38,9 +42,12 @@ __all__ = [
     "BreakdownRow",
     "MetricsRegistry",
     "Span",
+    "StreamHub",
+    "StreamTelemetry",
     "TraceContext",
     "Tracer",
     "TracerStats",
+    "active_telemetry",
     "component_pids",
     "latency_breakdown",
     "registry_for_cluster",

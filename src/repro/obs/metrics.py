@@ -25,25 +25,30 @@ import numbers
 import typing
 
 from ..errors import ConfigError
-from ..sim.monitor import Counter, IntervalLog, Tally, TimeWeighted
+from ..sim.monitor import Counter, Tally
 
 
 def summarize(obj: typing.Any) -> typing.Any:
-    """Render one registered object as JSON-ready data."""
-    if isinstance(obj, Counter):
-        return {"count": obj.count, "total": obj.total, "mean": obj.mean}
-    if isinstance(obj, Tally):
-        return {
-            "count": obj.count, "mean": obj.mean, "stdev": obj.stdev,
-            "min": obj.minimum, "max": obj.maximum,
-        }
-    if isinstance(obj, TimeWeighted):
-        return {"level": obj.level, "average": obj.average()}
-    if isinstance(obj, IntervalLog):
-        return {"intervals": len(obj.intervals), "busy_time": obj.busy_time()}
+    """Render one registered object as JSON-ready data.
+
+    The primary protocol is ``as_dict()``: every measurement primitive
+    (``Counter``/``Tally``/``TimeWeighted``/``IntervalLog``, the
+    streaming series, ``CacheMetrics``, the tracer) renders itself —
+    no isinstance ladder to extend when a new primitive appears.  The
+    remaining branches are graceful fallbacks for plain values: dicts
+    recurse, scalars pass through, zero-argument callables are
+    evaluated lazily, and anything else degrades to ``repr`` rather
+    than raising mid-export.
+    """
     as_dict = getattr(obj, "as_dict", None)
     if callable(as_dict):
-        return as_dict()
+        summary = as_dict()
+        if not isinstance(summary, dict):
+            raise ConfigError(
+                f"{type(obj).__name__}.as_dict() returned "
+                f"{type(summary).__name__}, expected dict"
+            )
+        return summary
     if isinstance(obj, dict):
         return {str(k): summarize(v) for k, v in obj.items()}
     if isinstance(obj, (bool, str)) or obj is None:

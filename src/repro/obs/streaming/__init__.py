@@ -1,0 +1,76 @@
+"""``repro.obs.streaming`` — the streaming telemetry plane.
+
+End-of-run snapshots (:class:`~repro.obs.metrics.MetricsRegistry`)
+answer "what happened overall"; this package answers "what was
+happening at t" with O(1) memory per series:
+
+- :mod:`.stats` — windowed tallies/counters, P²/reservoir quantile
+  sketches (deterministic, sim-clock only);
+- :mod:`.hub` — the per-run series registry and the zero-cost-when-
+  disabled hot-path adapters;
+- :mod:`.sampler` — the sim-time sampling process and JSONL/CSV
+  time-series writers;
+- :mod:`.session` — :class:`StreamTelemetry`, the CLI-facing
+  lifecycle (activate -> begin_run -> resume/pause -> close);
+- :mod:`.profiler` — wall-time attribution of the event loop to
+  component callbacks;
+- :mod:`.monitor` — the ``python -m repro monitor`` live table.
+"""
+
+from .hub import (
+    CacheStream,
+    DeviceStream,
+    GaugeSeries,
+    LatencySeries,
+    ServerStream,
+    StreamHub,
+    attach_cluster,
+)
+from .profiler import EngineProfiler, component_of
+from .sampler import (
+    CSV_COLUMNS,
+    CsvSeriesWriter,
+    JsonlSeriesWriter,
+    Sampler,
+    SeriesWriter,
+    make_writer,
+)
+from .session import StreamTelemetry, active_telemetry
+from .stats import (
+    DEFAULT_QUANTILES,
+    LogHistogram,
+    P2Quantile,
+    QuantileSketch,
+    ReservoirSample,
+    WindowedCounter,
+    WindowedTally,
+    WindowStats,
+)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "CacheStream",
+    "CsvSeriesWriter",
+    "DEFAULT_QUANTILES",
+    "DeviceStream",
+    "EngineProfiler",
+    "GaugeSeries",
+    "JsonlSeriesWriter",
+    "LatencySeries",
+    "LogHistogram",
+    "P2Quantile",
+    "QuantileSketch",
+    "ReservoirSample",
+    "Sampler",
+    "SeriesWriter",
+    "ServerStream",
+    "StreamHub",
+    "StreamTelemetry",
+    "WindowStats",
+    "WindowedCounter",
+    "WindowedTally",
+    "active_telemetry",
+    "attach_cluster",
+    "component_of",
+    "make_writer",
+]

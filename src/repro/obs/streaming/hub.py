@@ -1,0 +1,405 @@
+"""The StreamHub: named series registry + hot-path adapters.
+
+A hub owns every streaming series of one simulation run.  Component
+hooks (redirector, space manager, file servers, devices, PFS clients,
+middleware) hold *direct references* to their series wrapped in tiny
+adapter objects — and cost exactly nothing when telemetry is off (the
+``stream`` attributes stay None).
+
+When telemetry is on, the hot path is deliberately dumb: a hook
+appends ``(sim-time, value)`` to a flat per-series buffer and returns.
+The buffered batch folds into the underlying primitives (vectorized
+for large batches — see ``stats.observe_many``) at each sample tick
+or when the buffer hits ``_BUFFER_CAP``, so per-series memory stays
+bounded no matter the stream length.
+
+Series kinds and their sampled row fields:
+
+- ``counter``  — cumulative count/total, window count/total, rate
+- ``tally``    — cumulative + trailing-window Welford stats
+- ``latency``  — windowed tally + streaming P50/P99/P999 sketch
+- ``gauge``    — one lazily evaluated value
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ...errors import ConfigError
+from .stats import QuantileSketch, WindowedCounter, WindowedTally
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ...cluster.builder import Cluster
+    from ...sim import Simulator
+
+
+#: Flat (time, value) pairs a series buffers before folding; bounds
+#: per-series memory at ``_BUFFER_CAP`` floats regardless of stream
+#: length, so the O(1)-memory guarantee of the primitives survives.
+_BUFFER_CAP = 4096
+
+
+class CounterSeries(WindowedCounter):
+    """A windowed counter as a sampled series.
+
+    Hot-path ``add`` calls append to a flat buffer; the buffered batch
+    folds into the counter (vectorized) at each sample tick or when
+    the buffer fills.  Reads go through :meth:`as_dict`, which drains
+    the buffer first.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("_buf", "flushers")
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._buf: list[float] = []
+        #: Extra drain callbacks for adapters that batch into this
+        #: counter through a buffer of their own (see DeviceStream).
+        self.flushers: list = []
+
+    def add(self, amount: float = 1.0) -> None:
+        buf = self._buf
+        buf.append(self.clock.now)
+        buf.append(amount)
+        if len(buf) >= _BUFFER_CAP:
+            self._flush()
+
+    def _flush(self) -> None:
+        for drain in self.flushers:
+            drain()
+        buf = self._buf
+        if not buf:
+            return
+        self._buf = []
+        self.add_many(buf[0::2], buf[1::2])
+
+    def as_dict(self) -> dict:
+        self._flush()
+        return super().as_dict()
+
+    def sample_fields(self) -> dict:
+        return self.as_dict()
+
+
+class TallySeries(WindowedTally):
+    """A windowed tally as a sampled series (buffered like a counter)."""
+
+    kind = "tally"
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._buf: list[float] = []
+
+    def observe(self, value: float) -> None:
+        buf = self._buf
+        buf.append(self.clock.now)
+        buf.append(value)
+        if len(buf) >= _BUFFER_CAP:
+            self._flush()
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        self._buf = []
+        self.observe_many(buf[0::2], buf[1::2])
+
+    def rollup(self):
+        self._flush()
+        return super().rollup()
+
+    def as_dict(self) -> dict:
+        self._flush()
+        return super().as_dict()
+
+    def sample_fields(self) -> dict:
+        return self.as_dict()
+
+
+class LatencySeries:
+    """One latency signal: windowed tally + quantile sketch.
+
+    One shared buffer feeds both aggregates, so the per-observation
+    hot path is two list appends and a length check.
+    """
+
+    kind = "latency"
+
+    __slots__ = ("name", "window", "sketch", "_clock", "_buf")
+
+    def __init__(self, clock, window: float, buckets: int,
+                 sketch: QuantileSketch, name: str = ""):
+        self.name = name
+        self._clock = clock
+        self.window = WindowedTally(clock, window, buckets, name=name)
+        self.sketch = sketch
+        self._buf: list[float] = []
+
+    def observe(self, value: float) -> None:
+        buf = self._buf
+        buf.append(self._clock.now)
+        buf.append(value)
+        if len(buf) >= _BUFFER_CAP:
+            self._flush()
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        self._buf = []
+        values = buf[1::2]
+        self.window.observe_many(buf[0::2], values)
+        self.sketch.observe_many(values)
+
+    @property
+    def count(self) -> int:
+        self._flush()
+        return self.window.count
+
+    def quantile(self, q: float) -> float:
+        self._flush()
+        return self.sketch.quantile(q)
+
+    def sample_fields(self) -> dict:
+        self._flush()
+        row = self.window.as_dict()
+        sketch = self.sketch.as_dict()
+        del sketch["count"]  # same stream; the tally already counted it
+        row.update(sketch)
+        return row
+
+    def as_dict(self) -> dict:
+        return self.sample_fields()
+
+
+class GaugeSeries:
+    """A lazily evaluated scalar (hit ratio, queue depth, ...)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, fn: typing.Callable[[], float], name: str = ""):
+        self.name = name
+        self.fn = fn
+
+    def value(self) -> float:
+        return self.fn()
+
+    def sample_fields(self) -> dict:
+        return {"value": self.fn()}
+
+    def as_dict(self) -> dict:
+        return self.sample_fields()
+
+
+class StreamHub:
+    """Registry of the streaming series of one simulation run."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        window: float = 1.0,
+        buckets: int = 8,
+        sketch: str = "hist",
+        reservoir_size: int = 512,
+    ):
+        self.sim = sim
+        self.window = window
+        self.buckets = buckets
+        self.sketch_mode = sketch
+        self.reservoir_size = reservoir_size
+        self._series: dict[str, typing.Any] = {}
+        self._rng = None
+        if sketch == "reservoir":
+            # A dedicated named stream: reservoir draws can never
+            # perturb any other randomness in the simulation.
+            self._rng = sim.rng.stream("obs.reservoir")
+
+    # -- registration ---------------------------------------------------
+    def _register(self, name: str, series):
+        if name in self._series:
+            raise ConfigError(f"duplicate series name {name!r}")
+        self._series[name] = series
+        return series
+
+    def counter(self, name: str) -> CounterSeries:
+        existing = self._series.get(name)
+        if existing is not None:
+            return existing
+        return self._register(
+            name, CounterSeries(self.sim, self.window, self.buckets, name)
+        )
+
+    def tally(self, name: str) -> TallySeries:
+        existing = self._series.get(name)
+        if existing is not None:
+            return existing
+        return self._register(
+            name, TallySeries(self.sim, self.window, self.buckets, name)
+        )
+
+    def latency(self, name: str) -> LatencySeries:
+        existing = self._series.get(name)
+        if existing is not None:
+            return existing
+        sketch = QuantileSketch(
+            mode=self.sketch_mode, rng=self._rng,
+            reservoir_size=self.reservoir_size,
+        )
+        return self._register(
+            name,
+            LatencySeries(self.sim, self.window, self.buckets, sketch, name),
+        )
+
+    def gauge(self, name: str, fn: typing.Callable[[], float]) -> GaugeSeries:
+        return self._register(name, GaugeSeries(fn, name))
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def get(self, name: str):
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- sampling -------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """One sampled row per series, in sorted series order."""
+        out = []
+        for name in sorted(self._series):
+            series = self._series[name]
+            row = {"series": name, "kind": series.kind}
+            row.update(series.sample_fields())
+            out.append(row)
+        return out
+
+
+# -- hot-path adapters ----------------------------------------------------
+class CacheStream:
+    """Redirector/space hooks: hits, misses, admissions, evictions.
+
+    One shared instance serves both the Redirector and the CacheSpace;
+    counters carry bytes as their weight (count = events).
+    """
+
+    __slots__ = ("read_hits", "write_hits", "read_misses", "admissions",
+                 "bounces", "lazy_marks", "evictions")
+
+    def __init__(self, hub: StreamHub):
+        self.read_hits = hub.counter("cache.read_hits")
+        self.write_hits = hub.counter("cache.write_hits")
+        self.read_misses = hub.counter("cache.read_misses")
+        self.admissions = hub.counter("cache.admissions")
+        self.bounces = hub.counter("cache.bounces")
+        self.lazy_marks = hub.counter("cache.lazy_fetch_marks")
+        self.evictions = hub.counter("cache.evictions")
+
+    def hit(self, op: str, nbytes: int) -> None:
+        if op == "write":
+            self.write_hits.add(nbytes)
+        else:
+            self.read_hits.add(nbytes)
+
+    def read_miss(self, nbytes: int, marked: bool) -> None:
+        self.read_misses.add(nbytes)
+        if marked:
+            self.lazy_marks.add(nbytes)
+
+    def admitted(self, nbytes: int) -> None:
+        self.admissions.add(nbytes)
+
+    def bounced(self, nbytes: int) -> None:
+        self.bounces.add(nbytes)
+
+    def evicted(self, nbytes: int) -> None:
+        self.evictions.add(nbytes)
+
+
+class ServerStream:
+    """File-server hooks: queue depth at arrival, device busy-time."""
+
+    __slots__ = ("queue_depth", "service")
+
+    def __init__(self, hub: StreamHub, name: str):
+        self.queue_depth = hub.tally(f"server.{name}.queue_depth")
+        self.service = hub.latency(f"server.{name}.service_time")
+
+
+class DeviceStream:
+    """Device hooks: per-op busy seconds and bytes moved.
+
+    Both counters share one (time, bytes, elapsed) triplet buffer so
+    the per-op hook is a single call; the triplets fan out to the two
+    counters on flush.
+    """
+
+    __slots__ = ("busy", "ops", "_clock", "_buf")
+
+    def __init__(self, hub: StreamHub, name: str):
+        self.busy = hub.counter(f"device.{name}.busy_time")
+        self.ops = hub.counter(f"device.{name}.bytes")
+        self._clock = hub.sim
+        self._buf: list[float] = []
+        self.busy.flushers.append(self._flush)
+        self.ops.flushers.append(self._flush)
+
+    def record(self, op: str, nbytes: int, elapsed: float) -> None:
+        buf = self._buf
+        buf.append(self._clock.now)
+        buf.append(nbytes)
+        buf.append(elapsed)
+        if len(buf) >= _BUFFER_CAP:
+            self._flush()
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        self._buf = []
+        times = buf[0::3]
+        self.ops.add_many(times, buf[1::3])
+        self.busy.add_many(times, buf[2::3])
+
+
+def attach_cluster(cluster: "Cluster", hub: StreamHub) -> None:
+    """Wire hub-backed adapters into a built cluster's hot paths.
+
+    Idempotent per cluster build: each component's ``stream`` slot is
+    simply replaced.  Components left with ``stream = None`` (the
+    default) pay nothing.
+    """
+    middleware = cluster.middleware
+    if middleware is not None:
+        cache_stream = CacheStream(hub)
+        middleware.redirector.stream = cache_stream
+        middleware.space.stream = cache_stream
+        middleware.stream = hub.latency("mw.request_latency")
+        metrics = middleware.metrics
+        hub.gauge("cache.read_hit_ratio", lambda: metrics.read_hit_ratio)
+        hub.gauge("cache.write_hit_ratio", lambda: metrics.write_hit_ratio)
+        hub.gauge("cache.admission_ratio", lambda: metrics.admission_ratio)
+        cpfs_round = hub.latency("pfs.cpfs.round_latency")
+        for client in middleware.cpfs_clients:
+            client.stream = cpfs_round
+        middleware._mover_cpfs.stream = cpfs_round
+
+    opfs_round = hub.latency("pfs.opfs.round_latency")
+    for client in cluster.direct.clients:
+        client.stream = opfs_round
+    if middleware is not None:
+        middleware._mover_opfs.stream = opfs_round
+
+    for server in list(cluster.dservers) + list(cluster.cservers):
+        server.stream = ServerStream(hub, server.name)
+        # Devices are named by their server (device names are generic
+        # "hdd"/"ssd" and would collide across servers).
+        server.device.stream = DeviceStream(hub, server.name)

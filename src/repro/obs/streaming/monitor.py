@@ -1,0 +1,187 @@
+"""``python -m repro monitor`` — live view of a streaming series file.
+
+Tails a JSONL time-series file written by the Sampler and repaints a
+plain-text table: events/s and hit ratio from the cache counters and
+gauges, P99 latency by component from the latency series.  Works on a
+finished file too (``--once`` prints one table and exits — that's what
+CI uses).
+
+Deliberately wall-clock-light: the refresh pacing uses ``time.sleep``
+only, and every number shown comes from the file's sim-time rows, so
+the monitor itself needs no determinism exemptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import typing
+
+
+class SeriesTail:
+    """Incremental reader: latest row per series, totals, last t."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.latest: dict[str, dict] = {}
+        self.rows_seen = 0
+        self.last_t = 0.0
+        self._offset = 0
+
+    def poll(self) -> int:
+        """Consume newly appended lines; returns rows read this poll."""
+        try:
+            fh = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return 0
+        with fh:
+            fh.seek(self._offset)
+            fresh = 0
+            for line in fh:
+                if not line.endswith("\n"):
+                    break  # partial line mid-append; re-read next poll
+                self._offset += len(line.encode("utf-8"))
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    continue
+                series = row.get("series")
+                if not isinstance(series, str):
+                    continue
+                self.latest[series] = row
+                self.rows_seen += 1
+                fresh += 1
+                t = row.get("t")
+                if isinstance(t, (int, float)) and t > self.last_t:
+                    self.last_t = t
+        return fresh
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k/s"
+    return f"{value:.1f}/s"
+
+
+def render_table(tail: SeriesTail) -> str:
+    """The refresh table for the latest window of each series."""
+    latest = tail.latest
+    lines = [
+        f"t={tail.last_t:.3f}s  series={len(latest)}  "
+        f"rows={tail.rows_seen}",
+    ]
+
+    counters = {
+        name: row for name, row in sorted(latest.items())
+        if row.get("kind") == "counter"
+    }
+    if counters:
+        lines.append("")
+        lines.append(f"  {'counter':<32}{'events':>12}{'window':>10}"
+                     f"{'rate':>12}")
+        for name, row in counters.items():
+            lines.append(
+                f"  {name:<32}{row.get('count', 0):>12}"
+                f"{row.get('window_count', 0):>10}"
+                f"{_fmt_rate(row.get('rate', 0.0)):>12}"
+            )
+
+    gauges = {
+        name: row for name, row in sorted(latest.items())
+        if row.get("kind") == "gauge"
+    }
+    if gauges:
+        lines.append("")
+        lines.append(f"  {'gauge':<32}{'value':>12}")
+        for name, row in gauges.items():
+            value = row.get("value", 0.0)
+            shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<32}{shown:>12}")
+
+    latencies = {
+        name: row for name, row in sorted(latest.items())
+        if row.get("kind") == "latency"
+    }
+    if latencies:
+        lines.append("")
+        lines.append(f"  {'latency':<32}{'count':>10}{'p50':>10}"
+                     f"{'p99':>10}{'p999':>10}")
+        for name, row in latencies.items():
+            lines.append(
+                f"  {name:<32}{row.get('count', 0):>10}"
+                f"{row.get('p50', 0.0) * 1e3:>8.2f}ms"
+                f"{row.get('p99', 0.0) * 1e3:>8.2f}ms"
+                f"{row.get('p999', 0.0) * 1e3:>8.2f}ms"
+            )
+    return "\n".join(lines)
+
+
+def follow(
+    path: str,
+    refresh: float = 1.0,
+    iterations: int | None = None,
+    out: typing.Callable[[str], None] = print,
+    sleep: typing.Callable[[float], None] = time.sleep,
+    clear: bool | None = None,
+) -> int:
+    """Tail ``path`` and repaint the table until interrupted.
+
+    ``iterations`` bounds the number of refreshes (None = forever);
+    tests and ``--once`` use a bound of 1 with no sleeping.
+    """
+    tail = SeriesTail(path)
+    if clear is None:
+        clear = sys.stdout.isatty()
+    painted = 0
+    while iterations is None or painted < iterations:
+        if painted:
+            sleep(refresh)
+        tail.poll()
+        table = render_table(tail)
+        if clear:
+            out("\x1b[2J\x1b[H" + table)
+        else:
+            out(table)
+            out("")
+        painted += 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro monitor",
+        description="Tail a streaming telemetry file "
+                    "(written via --series-out / --sample-interval).",
+    )
+    parser.add_argument("series", help="JSONL time-series file to tail")
+    parser.add_argument("--refresh", type=float, default=1.0,
+                        help="seconds between repaints (default 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one table and exit (no tailing)")
+    args = parser.parse_args(argv)
+    try:
+        return follow(
+            args.series, refresh=args.refresh,
+            iterations=1 if args.once else None,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; exit
+        # quietly.  Detach stdout so the interpreter's shutdown flush
+        # doesn't raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

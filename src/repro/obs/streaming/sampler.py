@@ -1,0 +1,176 @@
+"""The Sampler: a sim-time process streaming series rows to disk.
+
+The sampler wakes every ``interval`` sim-seconds, snapshots every
+series registered on its :class:`~repro.obs.streaming.hub.StreamHub`
+and appends one row per series to a :class:`SeriesWriter` (JSONL or
+CSV).  Lifecycle:
+
+- ``start()``   — spawn the tick process (idempotent);
+- ``pause()``   — emit one final sample, *cancel* the pending tick and
+  kill the process;
+- ``close()``   — pause + flush/close the writer.
+
+The pause path matters for determinism: a killed process leaves its
+pending timeout in the event heap, and popping an orphan timeout
+advances the clock — which would shift downstream float arithmetic and
+break the bit-identical golden digests.  ``pause()`` therefore cancels
+the tick through :meth:`repro.sim.core.Simulator.cancel`, whose lazy
+skip never advances the clock.  With the sampler paused between jobs,
+a telemetered run pops exactly the same clock values as an
+uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import typing
+
+from ...errors import ConfigError, ProcessKilled
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ...sim import Simulator
+    from .hub import StreamHub
+
+#: Canonical CSV column order: the union of every kind's row fields.
+CSV_COLUMNS = (
+    "t", "run", "phase", "series", "kind",
+    "count", "total", "mean", "stdev", "min", "max",
+    "window_count", "window_total", "window_mean", "window_max", "rate",
+    "p50", "p99", "p999", "value",
+)
+
+
+class SeriesWriter:
+    """Base: append sampled rows to a file, one row per series/tick."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.rows_written = 0
+        self._fh = open(path, "w", encoding="utf-8", newline="")
+
+    def write_row(self, row: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class JsonlSeriesWriter(SeriesWriter):
+    """One JSON object per line; keys in insertion order."""
+
+    def write_row(self, row: dict) -> None:
+        self._fh.write(json.dumps(row) + "\n")
+        self.rows_written += 1
+
+
+class CsvSeriesWriter(SeriesWriter):
+    """Fixed-column CSV (:data:`CSV_COLUMNS`); absent fields empty."""
+
+    def __init__(self, path: str):
+        super().__init__(path)
+        self._writer = csv.DictWriter(
+            self._fh, fieldnames=CSV_COLUMNS, extrasaction="ignore"
+        )
+        self._writer.writeheader()
+
+    def write_row(self, row: dict) -> None:
+        self._writer.writerow(row)
+        self.rows_written += 1
+
+
+def make_writer(path: str, fmt: str = "jsonl") -> SeriesWriter:
+    if fmt == "jsonl":
+        return JsonlSeriesWriter(path)
+    if fmt == "csv":
+        return CsvSeriesWriter(path)
+    raise ConfigError(f"unknown series format {fmt!r}")
+
+
+class Sampler:
+    """Snapshot the hub's series on a sim-time cadence."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        hub: "StreamHub",
+        writer: SeriesWriter,
+        interval: float,
+        run: int = 0,
+    ):
+        if interval <= 0:
+            # Zero-delay ticks would live in the run queue, which the
+            # engine's lazy cancellation cannot skip.
+            raise ConfigError(f"sample interval must be positive: {interval}")
+        self.sim = sim
+        self.hub = hub
+        self.writer = writer
+        self.interval = interval
+        self.run = run
+        self.phase: str | None = None
+        self.samples_taken = 0
+        self._proc = None
+        self._pending_tick = None
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.is_alive
+
+    def start(self) -> None:
+        """Spawn the tick process (no-op when already running)."""
+        if self.running:
+            return
+        self._proc = self.sim.spawn(self._body(), name="obs.sampler")
+
+    def _body(self):
+        try:
+            while True:
+                tick = self.sim.timeout(self.interval)
+                self._pending_tick = tick
+                yield tick
+                self._pending_tick = None
+                self.sample()
+        except ProcessKilled:
+            # pause() kills us between jobs; exit cleanly (an uncaught
+            # kill in an unjoined process would surface as a crash).
+            return
+
+    def sample(self) -> None:
+        """Emit one row per series at the current sim time."""
+        t = self.sim.now
+        run = self.run
+        phase = self.phase
+        for fields in self.hub.rows():
+            row = {"t": t, "run": run, "phase": phase}
+            row.update(fields)
+            self.writer.write_row(row)
+        self.samples_taken += 1
+
+    def pause(self) -> None:
+        """Emit a final sample and stop ticking, without clock impact.
+
+        The pending tick is cancelled (lazily skipped by the engine, no
+        clock advance) before the process is killed, so pausing between
+        jobs leaves the event heap's observable timeline untouched.
+        """
+        if not self.running:
+            return
+        self.sample()
+        tick = self._pending_tick
+        if tick is not None and not tick.processed:
+            self.sim.cancel(tick)
+        self._pending_tick = None
+        proc, self._proc = self._proc, None
+        proc.kill()
+
+    def close(self) -> None:
+        """Pause and flush/close the writer."""
+        self.pause()
+        self.writer.flush()
+        self.writer.close()

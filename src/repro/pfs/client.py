@@ -82,6 +82,9 @@ class PFSClient:
         self.subrequests_issued = 0
         #: Stripe fragments absorbed by coalescing (0 when disabled).
         self.subrequests_coalesced = 0
+        #: Optional streaming round-latency series (shared per PFS);
+        #: None costs nothing.
+        self.stream = None
 
     # -- public API -----------------------------------------------------
     def read(
@@ -160,6 +163,8 @@ class PFSClient:
 
         self.requests_issued += 1
         self.bytes_moved += size
+        if self.stream is not None:
+            self.stream.observe(self.sim.now - start)
         result = IOResult(
             op=op,
             path=handle.name,

@@ -52,6 +52,8 @@ class FileServer:
         self.busy_log = IntervalLog()
         self.requests_served = 0
         self.bytes_served = 0
+        #: Optional streaming hooks (a ServerStream); None costs nothing.
+        self.stream = None
         self._rng = sim.rng.stream(f"server:{name}")
         if os_cache is None:
             os_cache = device.kind == "hdd"
@@ -116,6 +118,10 @@ class FileServer:
     def _device_op(self, op: str, offset: int, size: int, priority: int,
                    ctx: "TraceContext | None" = None):
         """Queue + execute one device operation (shared by all paths)."""
+        stream = self.stream
+        if stream is not None:
+            arrival = self.sim.now
+            stream.queue_depth.observe(self.queue.queue_length)
         if ctx is None or ctx is NULL_CONTEXT:
             grant = yield self.queue.acquire(priority)
             start = self.sim.now
@@ -125,6 +131,8 @@ class FileServer:
             finally:
                 self.queue.release(grant)
             self.busy_log.record(start, self.sim.now, op)
+            if stream is not None:
+                stream.service.observe(self.sim.now - arrival)
             return
         wait_span = ctx.begin("queue_wait", cat="server",
                               component=self.name, op=op)
@@ -143,6 +151,8 @@ class FileServer:
             ctx.end(dev_span)
             self.queue.release(grant)
         self.busy_log.record(start, self.sim.now, op)
+        if stream is not None:
+            stream.service.observe(self.sim.now - arrival)
 
     def utilisation(self) -> float:
         """Fraction of elapsed simulation time the device was busy."""

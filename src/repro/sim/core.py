@@ -57,6 +57,13 @@ class Simulator:
         #: ``pid`` — never by ``id()``, which is an allocator address
         #: and differs across runs (DET004).
         self._crashed: dict[int, BaseException] = {}
+        #: Events lazily discarded by :meth:`cancel`; heap pops skip
+        #: them *without advancing the clock* (identity set — events
+        #: hash by identity, no ``id()`` keys involved).
+        self._cancelled: set[Event] = set()
+        #: When set, :meth:`run` delegates to the attached
+        #: :class:`~repro.obs.streaming.profiler.EngineProfiler`.
+        self._profiler = None
 
     @property
     def events_scheduled(self) -> int:
@@ -125,6 +132,24 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
+    def cancel(self, event: Event) -> None:
+        """Discard a scheduled positive-delay event without firing it.
+
+        The heap entry is dropped *lazily*: when the event reaches the
+        front of the queue it is skipped without advancing the clock,
+        so cancelling (e.g. a telemetry sampler's pending tick) can
+        never shift the timestamp of any later event — float arithmetic
+        downstream stays bit-identical to a run where the event was
+        never scheduled.
+
+        Only positive-delay events are supported (zero-delay events
+        live in the run queue, whose schedule-order contract forbids
+        skipping); callers own that invariant.  Cancelling an already
+        processed event is a no-op.
+        """
+        if not event._processed:
+            self._cancelled.add(event)
+
     def _next_process_id(self) -> int:
         """Monotonic process id, assigned in spawn order (deterministic)."""
         self._next_pid += 1
@@ -144,17 +169,25 @@ class Simulator:
         """
         runq = self._runq
         heap = self._heap
-        if runq:
-            if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
+        cancelled = self._cancelled
+        while True:
+            if runq:
+                if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
+                    when, _, event = heapq.heappop(heap)
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        continue
+                    self.now = when
+                    return event
+                return runq.popleft()
+            if heap:
                 when, _, event = heapq.heappop(heap)
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    continue
                 self.now = when
                 return event
-            return runq.popleft()
-        if heap:
-            when, _, event = heapq.heappop(heap)
-            self.now = when
-            return event
-        raise SimulationError("step() on an empty event queue")
+            raise SimulationError("step() on an empty event queue")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
@@ -176,10 +209,13 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
+        if self._profiler is not None:
+            return self._profiler.run(until)
         heap = self._heap
         runq = self._runq
         pool = self._timeout_pool
         crashed = self._crashed
+        cancelled = self._cancelled
         heappop = heapq.heappop
         generic_process = Event._process
         resume = _events._RESUME
@@ -189,6 +225,9 @@ class Simulator:
                 # timestamp but scheduled earlier still goes first.
                 if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
                     when, _, event = heappop(heap)
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        continue
                     self.now = when
                 else:
                     event = runq.popleft()
@@ -198,6 +237,9 @@ class Simulator:
                     self.now = until
                     return until
                 event = heappop(heap)[2]
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    continue
                 self.now = when
             else:
                 break
@@ -273,5 +315,9 @@ class Simulator:
 
     @property
     def queued_events(self) -> int:
-        """Number of events currently scheduled (for tests/diagnostics)."""
-        return len(self._heap) + len(self._runq)
+        """Number of events currently scheduled (for tests/diagnostics).
+
+        Cancelled-but-not-yet-popped events still occupy heap slots;
+        they are excluded here because they will never fire.
+        """
+        return len(self._heap) + len(self._runq) - len(self._cancelled)

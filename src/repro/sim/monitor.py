@@ -29,6 +29,10 @@ class Counter:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def as_dict(self) -> dict:
+        """Exporter protocol: the JSON-ready summary of this counter."""
+        return {"count": self.count, "total": self.total, "mean": self.mean}
+
 
 class Tally:
     """Streaming mean/variance/min/max of observed samples (Welford)."""
@@ -71,6 +75,13 @@ class Tally:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
+    def as_dict(self) -> dict:
+        """Exporter protocol: the JSON-ready summary of this tally."""
+        return {
+            "count": self.count, "mean": self.mean, "stdev": self.stdev,
+            "min": self.minimum, "max": self.maximum,
+        }
+
 
 class TimeWeighted:
     """Time-weighted average of a piecewise-constant signal.
@@ -106,6 +117,10 @@ class TimeWeighted:
             return self._level
         return (self._area + self._level * (now - self._since)) / elapsed
 
+    def as_dict(self) -> dict:
+        """Exporter protocol: current level and time-weighted average."""
+        return {"level": self.level, "average": self.average()}
+
 
 class IntervalLog:
     """Append-only log of (start, end, tag) busy intervals.
@@ -136,3 +151,7 @@ class IntervalLog:
             else:
                 cur_e = max(cur_e, e)
         return total + (cur_e - cur_s)
+
+    def as_dict(self) -> dict:
+        """Exporter protocol: interval count and merged busy time."""
+        return {"intervals": len(self.intervals), "busy_time": self.busy_time()}

@@ -1,0 +1,96 @@
+"""OBS002: a sampler/telemetry started but never paused/stopped."""
+
+from .util import codes, lint_snippet
+
+
+def test_started_sampler_without_stop_flagged():
+    findings = lint_snippet(
+        """
+        def run(sim, hub, writer):
+            sampler = Sampler(sim, hub, writer, 1.0)
+            sampler.start()
+            sim.run(until=10.0)
+        """
+    )
+    assert codes(findings) == ["OBS002"]
+
+
+def test_started_sampler_with_pause_clean():
+    findings = lint_snippet(
+        """
+        def run(sim, hub, writer):
+            sampler = Sampler(sim, hub, writer, 1.0)
+            sampler.start()
+            sim.run(until=10.0)
+            sampler.pause()
+        """
+    )
+    assert findings == []
+
+
+def test_stop_anywhere_in_module_clean():
+    # The rule is module-scoped: a lifecycle helper that stops the
+    # sampler elsewhere in the same module is enough.
+    findings = lint_snippet(
+        """
+        def begin(self):
+            self.sampler.start()
+
+        def finish(self):
+            self.sampler.close()
+        """
+    )
+    assert findings == []
+
+
+def test_telemetry_resume_counts_as_start():
+    findings = lint_snippet(
+        """
+        def drive(telemetry):
+            telemetry.resume()
+        """
+    )
+    assert codes(findings) == ["OBS002"]
+
+
+def test_telemetry_end_run_counts_as_stop():
+    findings = lint_snippet(
+        """
+        def drive(telemetry):
+            telemetry.resume()
+            telemetry.end_run()
+        """
+    )
+    assert findings == []
+
+
+def test_non_sampler_receiver_ignored():
+    findings = lint_snippet(
+        """
+        def run(server):
+            server.start()
+            worker.start()
+        """
+    )
+    assert findings == []
+
+
+def test_attribute_chain_receiver_matched():
+    findings = lint_snippet(
+        """
+        def run(self):
+            self.session.sampler.start()
+        """
+    )
+    assert codes(findings) == ["OBS002"]
+
+
+def test_two_unstopped_starts_two_findings():
+    findings = lint_snippet(
+        """
+        def run(a_sampler, b_telemetry):
+            a_sampler.start()
+            b_telemetry.resume()
+        """
+    )
+    assert codes(findings) == ["OBS002", "OBS002"]

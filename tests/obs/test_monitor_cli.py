@@ -1,0 +1,78 @@
+"""The live monitor: incremental tail, table rendering, CLI."""
+
+import json
+
+from repro.obs.streaming.monitor import SeriesTail, main, render_table
+
+
+def _write_rows(path, rows, mode="w"):
+    with open(path, mode) as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+
+
+ROWS = [
+    {"t": 1.0, "run": 0, "phase": "write", "series": "cache.read_hits",
+     "kind": "counter", "count": 10, "window_count": 4, "rate": 4.0},
+    {"t": 1.0, "run": 0, "phase": "write", "series": "cache.read_hit_ratio",
+     "kind": "gauge", "value": 0.625},
+    {"t": 1.0, "run": 0, "phase": "write", "series": "mw.request_latency",
+     "kind": "latency", "count": 14, "p50": 0.001, "p99": 0.004,
+     "p999": 0.0041},
+]
+
+
+def test_tail_keeps_latest_row_per_series(tmp_path):
+    path = tmp_path / "series.jsonl"
+    newer = dict(ROWS[0], t=2.0, count=25)
+    _write_rows(path, ROWS + [newer])
+    tail = SeriesTail(str(path))
+    assert tail.poll() == 4
+    assert tail.rows_seen == 4
+    assert tail.last_t == 2.0
+    assert tail.latest["cache.read_hits"]["count"] == 25
+
+
+def test_tail_incremental_poll(tmp_path):
+    path = tmp_path / "series.jsonl"
+    _write_rows(path, ROWS[:1])
+    tail = SeriesTail(str(path))
+    assert tail.poll() == 1
+    assert tail.poll() == 0  # nothing new
+    _write_rows(path, ROWS[1:], mode="a")
+    assert tail.poll() == 2  # only the appended lines are re-read
+
+
+def test_tail_tolerates_garbage_and_missing_file(tmp_path):
+    missing = SeriesTail(str(tmp_path / "nope.jsonl"))
+    assert missing.poll() == 0
+    path = tmp_path / "series.jsonl"
+    with open(path, "w") as fh:
+        fh.write("not json\n\n")
+        fh.write(json.dumps(ROWS[0]) + "\n")
+        fh.write('{"no_series_key": 1}\n')
+    tail = SeriesTail(str(path))
+    assert tail.poll() == 1
+    assert set(tail.latest) == {"cache.read_hits"}
+
+
+def test_render_table_sections(tmp_path):
+    path = tmp_path / "series.jsonl"
+    _write_rows(path, ROWS)
+    tail = SeriesTail(str(path))
+    tail.poll()
+    table = render_table(tail)
+    assert "t=1.000s" in table
+    assert "counter" in table and "cache.read_hits" in table
+    assert "gauge" in table and "0.625" in table
+    assert "latency" in table and "mw.request_latency" in table
+    assert "4.00ms" in table  # p99 in milliseconds
+
+
+def test_main_once_prints_table(tmp_path, capsys):
+    path = tmp_path / "series.jsonl"
+    _write_rows(path, ROWS)
+    assert main([str(path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "cache.read_hits" in out
+    assert "mw.request_latency" in out

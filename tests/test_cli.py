@@ -70,3 +70,45 @@ def test_experiments_forwarding(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_compare_with_streaming_telemetry(tmp_path, capsys):
+    series = tmp_path / "series.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code = main([
+        "compare", "--processes", "2", "--requests-per-rank", "16",
+        "--dservers", "2", "--cservers", "2", "--jobs", "4",
+        "--sample-interval", "0.5", "--series-out", str(series),
+        "--metrics-out", str(metrics), "--profile",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    # Telemetry lives in the parent process: spawn workers are off.
+    assert "forcing --jobs 1" in out
+    assert "time series:" in out
+    assert "engine wall-time by component" in out
+
+    import json
+
+    rows = [json.loads(line) for line in
+            series.read_text().splitlines() if line.strip()]
+    assert rows
+    assert any(r["series"] == "cache.read_hit_ratio" for r in rows)
+    assert any(r["kind"] == "latency" and "p99" in r for r in rows)
+    document = json.loads(metrics.read_text())
+    # compare = two runs (stock + S4D) -> a multi-run snapshot.
+    assert set(document) == {"runs"}
+    assert len(document["runs"]) == 2
+
+
+def test_monitor_once_via_main(tmp_path, capsys):
+    import json
+
+    series = tmp_path / "series.jsonl"
+    series.write_text(json.dumps(
+        {"t": 1.0, "run": 0, "phase": None, "series": "cache.read_hits",
+         "kind": "counter", "count": 5, "window_count": 5, "rate": 5.0}
+    ) + "\n")
+    assert main(["monitor", str(series), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "cache.read_hits" in out

@@ -1,0 +1,204 @@
+"""The BENCH_calendar.json receipt: calendar-queue scheduler proof.
+
+The calendar-queue backend claims two properties, measured here and
+committed as ``benchmarks/perf/BENCH_calendar.json``:
+
+- **identical schedules**: calendar and heap backends pop the exact
+  same ``(time, value)`` stream over a mixed schedule / bulk-arm /
+  cancel sequence (the hard claim — deterministic, gated as exit
+  status; the full property-based version lives in
+  ``tests/sim/test_scheduler_properties.py``);
+- **throughput**: every event-engine benchmark is measured under both
+  backends in one session (``speedup`` = calendar / heap — the heap
+  backend *is* the seed engine, so this is the honest matched-machine
+  comparison), and the calendar-shaped benchmarks are additionally
+  compared against the committed ``BENCH_baseline.json`` throughput
+  numbers with the tentpole's 2x / 3x multipliers recorded as met or
+  missed.  Cross-revision wall-clock ratios carry machine drift; the
+  per-claim ``note`` fields say exactly what was compared.
+
+Wall-clock reads here are sanctioned: reporting-only bench code (the
+``[tool.simlint.allow]`` DET001 entry for ``*/bench/*``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+import typing
+
+from .suite import SUITE
+
+#: Benchmarks measured under both scheduler backends.
+COMPARED = (
+    "event_loop",
+    "timeout_storm",
+    "event_loop_calendar",
+    "timeout_storm_calendar",
+    "schedule_many",
+)
+
+#: The tentpole's aspirational multipliers vs BENCH_baseline.json:
+#: claim name -> (calendar-shaped bench, baseline bench, target x).
+TARGETS = {
+    "event_loop": ("event_loop_calendar", "event_loop", 2.0),
+    "timeout_storm": ("timeout_storm_calendar", "timeout_storm", 3.0),
+}
+
+
+def _measure(name: str, scheduler: str, scale: float,
+             repeats: int | None) -> dict:
+    """Best-of-``repeats`` run of one benchmark under one backend."""
+    builder, default_repeats = SUITE[name]
+    build, units, unit, _mode = builder(scale, scheduler=scheduler)
+    best: float | None = None
+    for _ in range(max(1, repeats or default_repeats)):
+        run = build()
+        t0 = time.perf_counter()
+        run()
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    return {
+        "scheduler": scheduler,
+        "wall_s": round(best, 6),
+        "units": units,
+        "unit": unit,
+        "throughput": round(units / best, 2) if best > 0 else 0.0,
+    }
+
+
+def _schedules_identical() -> bool:
+    """Both backends must pop one identical (time, value) stream.
+
+    A fixed mixed sequence: interleaved short / long / far-future
+    timers (far enough to exercise the overflow list), one bulk
+    ``schedule_many`` burst, a handful of cancellations, then a full
+    drain.  Any ordering divergence between the backends shows up as
+    a stream mismatch.
+    """
+    from ..sim import Simulator
+
+    streams = []
+    for scheduler in ("calendar", "heap"):
+        sim = Simulator(seed=7, scheduler=scheduler)
+        armed = []
+        for i in range(400):
+            delay = ((i * 2654435761) % 9973) / 9973 * 50.0 + 1e-6
+            if i % 7 == 0:
+                delay += 5e4  # far future: overflow territory
+            armed.append(sim.timeout(delay, value=i))
+        sim.schedule_many([1e-3 * (i + 1) for i in range(64)], value="bulk")
+        for i in range(0, 400, 11):
+            sim.cancel(armed[i])
+        stream = []
+        while True:
+            ev = sim._pop_merged(None)
+            if ev is None:
+                break
+            stream.append((sim.now, ev._value))
+            ev._process()
+        streams.append(stream)
+    return streams[0] == streams[1]
+
+
+def build_receipt(scale: float = 1.0, repeats: int | None = None,
+                  baseline_path: str = "benchmarks/perf/BENCH_baseline.json",
+                  progress=None) -> dict:
+    from .cli import _git_rev
+
+    benches: dict[str, dict] = {}
+    for name in COMPARED:
+        rows = {}
+        for scheduler in ("calendar", "heap"):
+            if progress:
+                progress(f"{name} [{scheduler}] ...")
+            rows[scheduler] = _measure(name, scheduler, scale, repeats)
+        cal, heap = rows["calendar"], rows["heap"]
+        benches[name] = {
+            "calendar": cal,
+            "heap": heap,
+            "speedup_vs_heap": round(
+                cal["throughput"] / heap["throughput"], 3
+            ) if heap["throughput"] else 0.0,
+        }
+
+    claims: dict[str, dict] = {}
+    baseline_by_name: dict[str, dict] = {}
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        baseline_by_name = {
+            r["name"]: r for r in baseline.get("results", [])
+        }
+    for claim, (cal_bench, base_bench, target) in TARGETS.items():
+        base = baseline_by_name.get(base_bench)
+        if base is None:
+            continue
+        cal_tp = benches[cal_bench]["calendar"]["throughput"]
+        same_tp = benches[base_bench]["calendar"]["throughput"]
+        claims[claim] = {
+            "target_x": target,
+            "baseline_bench": base_bench,
+            "baseline_throughput": base["throughput"],
+            "calendar_bench": cal_bench,
+            "calendar_throughput": cal_tp,
+            "achieved_x": round(cal_tp / base["throughput"], 3),
+            "met": cal_tp >= target * base["throughput"],
+            "same_shape_x": round(same_tp / base["throughput"], 3),
+            "note": (
+                f"{cal_bench} (large pending-timer population) vs the "
+                f"committed {base_bench} baseline throughput; "
+                f"same_shape_x is today's {base_bench} on the same "
+                "comparison.  Cross-revision wall clocks include "
+                "machine drift; speedup_vs_heap above is the "
+                "matched-machine backend comparison."
+            ),
+        }
+
+    return {
+        "schema": 1,
+        "kind": "calendar-queue scheduler receipt",
+        "rev": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),  # simlint: disable=DET005 - host metadata in a bench receipt
+        "scale": scale,
+        "schedules_identical": _schedules_identical(),
+        "benches": benches,
+        "claims": claims,
+    }
+
+
+def write_receipt(
+    path: str, scale: float = 1.0, repeats: int | None = None,
+    progress: typing.Callable[[str], None] | None = None,
+) -> int:
+    """Build and write the receipt; exit status for the CLI.
+
+    Exit 1 only when the two backends' pop streams diverge (the hard
+    determinism claim); throughput multipliers are recorded for
+    review, not gated on.
+    """
+    receipt = build_receipt(scale=scale, repeats=repeats, progress=progress)
+    with open(path, "w") as fh:
+        json.dump(receipt, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if progress:
+        for name, row in receipt["benches"].items():
+            progress(
+                f"{name}: calendar {row['calendar']['throughput']:,.0f} "
+                f"{row['calendar']['unit']}/s, "
+                f"{row['speedup_vs_heap']:.2f}x vs heap"
+            )
+        for claim, row in receipt["claims"].items():
+            progress(
+                f"claim {claim}: {row['achieved_x']:.2f}x vs baseline "
+                f"(target {row['target_x']:.0f}x, met: {row['met']})"
+            )
+        progress(
+            f"wrote {path}: schedules identical: "
+            f"{receipt['schedules_identical']}"
+        )
+    return 0 if receipt["schedules_identical"] else 1

@@ -94,6 +94,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure streaming-telemetry overhead, "
                              "write a BENCH_streaming.json receipt, "
                              "and exit")
+    parser.add_argument("--calendar-receipt", default=None, metavar="PATH",
+                        help="measure calendar vs heap scheduler "
+                             "backends, write a BENCH_calendar.json "
+                             "receipt, and exit")
     add_jobs_arg(parser)
     args = parser.parse_args(argv)
 
@@ -115,6 +119,14 @@ def main(argv: list[str] | None = None) -> int:
 
         return write_streaming(
             args.streaming_receipt, scale=args.scale,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if args.calendar_receipt is not None:
+        from .calendar_receipt import write_receipt as write_calendar
+
+        return write_calendar(
+            args.calendar_receipt, scale=args.scale, repeats=args.repeat,
             progress=lambda msg: print(msg, flush=True),
         )
 

@@ -34,9 +34,12 @@ def add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--policy", default="selective")
     parser.add_argument("--cache-fraction", type=float, default=0.20)
     parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--coalesce", action="store_true",
+    parser.add_argument("--coalesce", action=argparse.BooleanOptionalAction,
+                        default=None,
                         help="merge per-server-contiguous stripe fragments "
-                             "before issuing PFS sub-requests")
+                             "before issuing PFS sub-requests (default on; "
+                             "--no-coalesce restores the legacy per-fragment "
+                             "timing)")
 
 
 def add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -108,8 +111,11 @@ def telemetry_from(args: argparse.Namespace):
 
 def spec_from(args: argparse.Namespace, processes: int):
     """Build a ClusterSpec from a cluster-flag namespace."""
-    from .cluster import ClusterSpec
+    from .cluster import DEFAULT_COALESCE, ClusterSpec
 
+    coalesce = getattr(args, "coalesce", None)
+    if coalesce is None:
+        coalesce = DEFAULT_COALESCE
     return ClusterSpec(
         num_dservers=args.dservers,
         num_cservers=args.cservers,
@@ -117,7 +123,7 @@ def spec_from(args: argparse.Namespace, processes: int):
         cache_fraction=args.cache_fraction,
         policy=args.policy,
         seed=args.seed,
-        coalesce=getattr(args, "coalesce", False),
+        coalesce=coalesce,
     )
 
 

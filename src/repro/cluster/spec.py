@@ -7,7 +7,10 @@ import dataclasses
 from ..devices import HDDSpec, SSDSpec
 from ..errors import ConfigError
 from ..network import NetworkSpec
+from ..pfs import DEFAULT_COALESCE
 from ..units import GiB, KiB, parse_size
+
+__all__ = ["ClusterSpec", "DEFAULT_COALESCE"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,10 +51,11 @@ class ClusterSpec:
     metadata_shards: int = 1
     #: Per-server-round sub-request coalescing (ROMIO-style): merge a
     #: request's locally-contiguous stripe fragments into one message
-    #: per server before they hit the wire.  Off by default — merging
-    #: changes simulated request timing, and the golden determinism
-    #: fixtures pin the uncoalesced behaviour.
-    coalesce: bool = False
+    #: per server before they hit the wire.  On by default (the golden
+    #: fixtures are blessed under coalescing); ``coalesce=False`` — or
+    #: ``--no-coalesce`` on the CLIs — restores the legacy
+    #: per-fragment timing, pinned by its own legacy fixture.
+    coalesce: bool = DEFAULT_COALESCE
     #: RNG seed for the whole simulation.
     seed: int = 42
 

@@ -99,9 +99,15 @@ class Rebuilder:
 
         Batch movements are killed *before* the main loop: killing the
         loop first would unwind ``_run_batch``'s finally-clause and
-        clear the batch list, leaving the movements alive as zombies
-        that later mutate post-recovery state (a bug the consistency
-        property suite caught).
+        deregister the movements while still alive, leaving them as
+        zombies that later mutate post-recovery state (a bug the
+        consistency property suite caught).  ``_active_batch`` is
+        additive for the same reason: the periodic process and a
+        foreground ``drain()`` can each have a batch in flight at once,
+        and a single overwritten field would hide one runner's
+        movements from this kill sweep (also caught by the property
+        suite — a surviving movement released its cache reservation
+        into the *rebuilt* space state, corrupting accounting).
         """
         batch, self._active_batch = self._active_batch, []
         for proc in batch:
@@ -185,11 +191,19 @@ class Rebuilder:
             self.sim.spawn(action(item), name="rebuilder-mv")
             for item in items
         ]
-        self._active_batch = procs
+        self._active_batch.extend(procs)
         try:
             yield self.sim.all_of(procs)
         finally:
-            self._active_batch = []
+            # Deregister only *this* batch: a concurrent runner (the
+            # periodic process vs a foreground drain) may have its own
+            # movements registered, and stop() must see those.
+            active = self._active_batch
+            for proc in procs:
+                try:
+                    active.remove(proc)
+                except ValueError:
+                    pass  # already swept by stop()
 
     def _flush_extent(self, extent: DMTExtent):
         d_handle, c_handle = self.resolve(extent.d_file)

@@ -20,7 +20,7 @@ from ..devices.base import OP_READ, OP_WRITE
 from ..errors import MPIIOError
 from ..network import Fabric
 from ..obs import NULL_TRACER
-from ..pfs import PFS, IOResult, PFSClient
+from ..pfs import DEFAULT_COALESCE, PFS, IOResult, PFSClient
 from ..sim.resources import PRIORITY_NORMAL
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -96,7 +96,7 @@ class DirectIO(IOLayer):
         fabric: Fabric,
         num_nodes: int = 32,
         node_prefix: str = "node",
-        coalesce: bool = False,
+        coalesce: bool = DEFAULT_COALESCE,
     ):
         if num_nodes < 1:
             raise MPIIOError(f"need at least one compute node: {num_nodes}")

@@ -50,7 +50,7 @@ class CounterSeries(WindowedCounter):
 
     kind = "counter"
 
-    __slots__ = ("_buf", "flushers")
+    __slots__ = ("_buf", "flushers", "_row_cache")
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -58,6 +58,7 @@ class CounterSeries(WindowedCounter):
         #: Extra drain callbacks for adapters that batch into this
         #: counter through a buffer of their own (see DeviceStream).
         self.flushers: list = []
+        self._row_cache: tuple | None = None
 
     def add(self, amount: float = 1.0) -> None:
         buf = self._buf
@@ -80,7 +81,19 @@ class CounterSeries(WindowedCounter):
         return super().as_dict()
 
     def sample_fields(self) -> dict:
-        return self.as_dict()
+        # Idle-series fast path: with no new observations and an
+        # already-empty window, the row is constant — a run's quiet
+        # series (read-phase write counters, cold-tier devices) cost
+        # one count comparison per tick instead of a full rollup.
+        # The cached dict is shared; sampling callers must not mutate.
+        self._flush()
+        count = self.count
+        cached = self._row_cache
+        if cached is not None and cached[0] == count and cached[2]:
+            return cached[1]
+        row = WindowedCounter.as_dict(self)
+        self._row_cache = (count, row, not row["window_count"])
+        return row
 
 
 class TallySeries(WindowedTally):
@@ -88,11 +101,15 @@ class TallySeries(WindowedTally):
 
     kind = "tally"
 
-    __slots__ = ("_buf",)
+    __slots__ = ("_buf", "flushers", "_row_cache")
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._buf: list[float] = []
+        #: Extra drain callbacks for adapters that batch into this
+        #: tally through a buffer of their own (see ServerStream).
+        self.flushers: list = []
+        self._row_cache: tuple | None = None
 
     def observe(self, value: float) -> None:
         buf = self._buf
@@ -102,6 +119,8 @@ class TallySeries(WindowedTally):
             self._flush()
 
     def _flush(self) -> None:
+        for drain in self.flushers:
+            drain()
         buf = self._buf
         if not buf:
             return
@@ -117,7 +136,15 @@ class TallySeries(WindowedTally):
         return super().as_dict()
 
     def sample_fields(self) -> dict:
-        return self.as_dict()
+        # Idle-series fast path (see CounterSeries.sample_fields).
+        self._flush()
+        count = self.count
+        cached = self._row_cache
+        if cached is not None and cached[0] == count and cached[2]:
+            return cached[1]
+        row = WindowedTally.as_dict(self)
+        self._row_cache = (count, row, not row["window_count"])
+        return row
 
 
 class LatencySeries:
@@ -129,7 +156,8 @@ class LatencySeries:
 
     kind = "latency"
 
-    __slots__ = ("name", "window", "sketch", "_clock", "_buf")
+    __slots__ = ("name", "window", "sketch", "_clock", "_buf", "flushers",
+                 "_row_cache")
 
     def __init__(self, clock, window: float, buckets: int,
                  sketch: QuantileSketch, name: str = ""):
@@ -138,6 +166,10 @@ class LatencySeries:
         self.window = WindowedTally(clock, window, buckets, name=name)
         self.sketch = sketch
         self._buf: list[float] = []
+        #: Extra drain callbacks for adapters that batch into this
+        #: series through a buffer of their own (see ServerStream).
+        self.flushers: list = []
+        self._row_cache: tuple | None = None
 
     def observe(self, value: float) -> None:
         buf = self._buf
@@ -146,7 +178,14 @@ class LatencySeries:
         if len(buf) >= _BUFFER_CAP:
             self._flush()
 
+    def observe_many(self, times, values) -> None:
+        """Fold pre-timestamped observations directly (adapter drain)."""
+        self.window.observe_many(times, values)
+        self.sketch.observe_many(values)
+
     def _flush(self) -> None:
+        for drain in self.flushers:
+            drain()
         buf = self._buf
         if not buf:
             return
@@ -165,15 +204,26 @@ class LatencySeries:
         return self.sketch.quantile(q)
 
     def sample_fields(self) -> dict:
+        # Idle-series fast path (see CounterSeries.sample_fields).
         self._flush()
+        count = self.window.count
+        cached = self._row_cache
+        if cached is not None and cached[0] == count and cached[2]:
+            return cached[1]
         row = self.window.as_dict()
-        sketch = self.sketch.as_dict()
-        del sketch["count"]  # same stream; the tally already counted it
-        row.update(sketch)
+        idle = not row["window_count"]
+        # Same stream: keep the tally's count, not the sketch's.  The
+        # overwrite-and-restore (rather than deleting from the sketch
+        # row) leaves the sketch's cached as_dict() dict untouched.
+        row.update(self.sketch.as_dict())
+        row["count"] = count
+        self._row_cache = (count, row, idle)
         return row
 
     def as_dict(self) -> dict:
-        return self.sample_fields()
+        # External readers get a private copy; the sampler's shared
+        # cached row must never be mutated by a caller.
+        return dict(self.sample_fields())
 
 
 class GaugeSeries:
@@ -214,6 +264,10 @@ class StreamHub:
         self.sketch_mode = sketch
         self.reservoir_size = reservoir_size
         self._series: dict[str, typing.Any] = {}
+        #: Sorted (name, series) pairs, rebuilt on registration: the
+        #: sampler reads every series every tick, so the sort must not
+        #: happen per tick.
+        self._ordered: list[tuple[str, typing.Any]] = []
         self._rng = None
         if sketch == "reservoir":
             # A dedicated named stream: reservoir draws can never
@@ -225,6 +279,7 @@ class StreamHub:
         if name in self._series:
             raise ConfigError(f"duplicate series name {name!r}")
         self._series[name] = series
+        self._ordered = sorted(self._series.items())
         return series
 
     def counter(self, name: str) -> CounterSeries:
@@ -275,8 +330,7 @@ class StreamHub:
     def rows(self) -> list[dict]:
         """One sampled row per series, in sorted series order."""
         out = []
-        for name in sorted(self._series):
-            series = self._series[name]
+        for name, series in self._ordered:
             row = {"series": name, "kind": series.kind}
             row.update(series.sample_fields())
             out.append(row)
@@ -325,13 +379,40 @@ class CacheStream:
 
 
 class ServerStream:
-    """File-server hooks: queue depth at arrival, device busy-time."""
+    """File-server hooks: queue depth at arrival, device busy-time.
 
-    __slots__ = ("queue_depth", "service")
+    Both signals share one (arrival, depth, done, elapsed) quadruplet
+    buffer, so the per-request hook is a single call at completion;
+    the quads fan out to the two series on flush with their original
+    timestamps (depth stamped at arrival, service at completion).
+    """
+
+    __slots__ = ("queue_depth", "service", "_buf")
 
     def __init__(self, hub: StreamHub, name: str):
         self.queue_depth = hub.tally(f"server.{name}.queue_depth")
         self.service = hub.latency(f"server.{name}.service_time")
+        self._buf: list[float] = []
+        self.queue_depth.flushers.append(self._flush)
+        self.service.flushers.append(self._flush)
+
+    def record(self, arrival: float, depth: int,
+               done: float, elapsed: float) -> None:
+        buf = self._buf
+        buf.append(arrival)
+        buf.append(depth)
+        buf.append(done)
+        buf.append(elapsed)
+        if len(buf) >= _BUFFER_CAP:
+            self._flush()
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        self._buf = []
+        self.queue_depth.observe_many(buf[0::4], buf[1::4])
+        self.service.observe_many(buf[2::4], buf[3::4])
 
 
 class DeviceStream:

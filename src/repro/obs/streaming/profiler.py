@@ -17,7 +17,6 @@ the DET001 allowlist, like the tracer's overhead meter).
 
 from __future__ import annotations
 
-import heapq
 import time
 import typing
 
@@ -63,40 +62,24 @@ class EngineProfiler:
 
     # -- the profiled reference loop ------------------------------------
     def run(self, until: float | None = None) -> float:
-        """Mirror of ``Simulator.run`` with per-event timing."""
+        """Mirror of ``Simulator.run`` with per-event timing.
+
+        Pops through ``Simulator._pop_merged`` so the exact merge /
+        cancellation / ``until`` semantics of whichever timed-queue
+        backend is active (calendar or heap) are replayed, not
+        reimplemented here.
+        """
         sim = self.sim
-        heap = sim._heap
-        runq = sim._runq
         crashed = sim._crashed
-        cancelled = sim._cancelled
-        heappop = heapq.heappop
+        pop = sim._pop_merged
         clock = time.perf_counter
         wall = self.wall
         counts = self.events
         loop_start = clock()
         try:
             while True:
-                if runq:
-                    if (heap and heap[0][0] <= sim.now
-                            and heap[0][1] < runq[0]._qseq):
-                        when, _, event = heappop(heap)
-                        if cancelled and event in cancelled:
-                            cancelled.discard(event)
-                            continue
-                        sim.now = when
-                    else:
-                        event = runq.popleft()
-                elif heap:
-                    when = heap[0][0]
-                    if until is not None and when > until:
-                        sim.now = until
-                        return until
-                    event = heappop(heap)[2]
-                    if cancelled and event in cancelled:
-                        cancelled.discard(event)
-                        continue
-                    sim.now = when
-                else:
+                event = pop(until)
+                if event is None:
                     break
                 key = component_of(event)
                 t0 = clock()

@@ -32,6 +32,11 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from ...sim import Simulator
     from .hub import StreamHub
 
+#: Ticks pre-armed per engine call (``Simulator.schedule_many``).  The
+#: armed times form the cumulative chain t_k = t_{k-1} + interval, so
+#: they are bit-identical to arming each tick as the previous fires.
+_TICK_BATCH = 32
+
 #: Canonical CSV column order: the union of every kind's row fields.
 CSV_COLUMNS = (
     "t", "run", "phase", "series", "kind",
@@ -52,6 +57,10 @@ class SeriesWriter:
     def write_row(self, row: dict) -> None:
         raise NotImplementedError
 
+    def write_rows(self, rows: list[dict]) -> None:
+        for row in rows:
+            self.write_row(row)
+
     def flush(self) -> None:
         if self._fh is not None:
             self._fh.flush()
@@ -68,6 +77,12 @@ class JsonlSeriesWriter(SeriesWriter):
     def write_row(self, row: dict) -> None:
         self._fh.write(json.dumps(row) + "\n")
         self.rows_written += 1
+
+    def write_rows(self, rows: list[dict]) -> None:
+        # One file write per tick instead of one per series row.
+        dumps = json.dumps
+        self._fh.write("".join([dumps(row) + "\n" for row in rows]))
+        self.rows_written += len(rows)
 
 
 class CsvSeriesWriter(SeriesWriter):
@@ -116,7 +131,12 @@ class Sampler:
         self.phase: str | None = None
         self.samples_taken = 0
         self._proc = None
-        self._pending_tick = None
+        #: The current pre-armed tick batch and the index of the tick
+        #: being awaited; everything from that index on is cancelled at
+        #: pause time (fired ticks are pooled engine property — never
+        #: touch them again).
+        self._pending_ticks: list | None = None
+        self._tick_next = 0
 
     @property
     def running(self) -> bool:
@@ -129,27 +149,38 @@ class Sampler:
         self._proc = self.sim.spawn(self._body(), name="obs.sampler")
 
     def _body(self):
+        sim = self.sim
+        interval = self.interval
         try:
             while True:
-                tick = self.sim.timeout(self.interval)
-                self._pending_tick = tick
-                yield tick
-                self._pending_tick = None
-                self.sample()
+                # Pre-arm a whole batch of ticks in one engine call.
+                # Absolute times (cumulative chain) keep the armed
+                # times bit-identical to one-at-a-time arming; see
+                # Simulator.schedule_many's ``at=`` contract.
+                t = sim.now
+                times = []
+                for _ in range(_TICK_BATCH):
+                    t += interval
+                    times.append(t)
+                ticks = sim.schedule_many(at=times)
+                self._pending_ticks = ticks
+                for i, tick in enumerate(ticks):
+                    self._tick_next = i
+                    yield tick
+                    self.sample()
+                self._pending_ticks = None
         except ProcessKilled:
             # pause() kills us between jobs; exit cleanly (an uncaught
             # kill in an unjoined process would surface as a crash).
+            self._cancel_pending()
             return
 
     def sample(self) -> None:
         """Emit one row per series at the current sim time."""
-        t = self.sim.now
-        run = self.run
-        phase = self.phase
-        for fields in self.hub.rows():
-            row = {"t": t, "run": run, "phase": phase}
-            row.update(fields)
-            self.writer.write_row(row)
+        head = {"t": self.sim.now, "run": self.run, "phase": self.phase}
+        self.writer.write_rows(
+            [head | fields for fields in self.hub.rows()]
+        )
         self.samples_taken += 1
 
     def pause(self) -> None:
@@ -162,12 +193,24 @@ class Sampler:
         if not self.running:
             return
         self.sample()
-        tick = self._pending_tick
-        if tick is not None and not tick.processed:
-            self.sim.cancel(tick)
-        self._pending_tick = None
+        self._cancel_pending()
         proc, self._proc = self._proc, None
         proc.kill()
+
+    def _cancel_pending(self) -> None:
+        """Lazily cancel every not-yet-fired pre-armed tick.
+
+        Fired ticks (before ``_tick_next``) are recycled through the
+        engine's timeout pool and may already belong to someone else;
+        only the still-pending tail is ours to cancel.
+        """
+        ticks = self._pending_ticks
+        if ticks is not None:
+            cancel = self.sim.cancel
+            for tick in ticks[self._tick_next:]:
+                if not tick.processed:
+                    cancel(tick)
+            self._pending_ticks = None
 
     def close(self) -> None:
         """Pause and flush/close the writer."""

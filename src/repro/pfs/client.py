@@ -21,6 +21,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 #: Bytes of protocol header per PFS message (request/ack framing).
 HEADER_BYTES = 256
 
+#: Default for per-server-round sub-request coalescing, everywhere a
+#: layer takes a ``coalesce`` knob (PFSClient, DirectIO, ClusterSpec,
+#: the CLIs' --coalesce flag).  One named constant so the blessed
+#: default is flipped in exactly one place.
+DEFAULT_COALESCE = True
+
 
 @dataclasses.dataclass
 class IOResult:
@@ -59,14 +65,15 @@ class PFSClient:
     fragments into one wire message per server round before the flows
     are spawned (ROMIO-style two-phase aggregation) — same bytes and
     device addresses, fewer messages and fewer simulated events.  It
-    is off by default because merging changes simulated request
-    timing, and the golden determinism fixtures pin the uncoalesced
-    behaviour (see docs/ARCHITECTURE.md, "Parallel execution").
+    is on by default (the golden determinism fixtures are blessed
+    under coalescing); ``coalesce=False`` restores the legacy
+    per-fragment timing, pinned by its own legacy fixture (see
+    docs/ARCHITECTURE.md, "Parallel execution").
     """
 
     def __init__(
         self, sim: "Simulator", pfs: PFS, fabric: Fabric, endpoint: str,
-        coalesce: bool = False,
+        coalesce: bool = DEFAULT_COALESCE,
     ):
         self.sim = sim
         self.pfs = pfs
@@ -148,13 +155,11 @@ class PFSClient:
         # One shared debug name per request (not per sub-request): the
         # per-sub f-string was a measurable allocation on the hot path.
         flow_name = f"{op}:{handle.name}"
-        flows = [
-            self.sim.spawn(
-                self._sub_flow(op, handle, sub, priority, sub_ctx),
-                name=flow_name,
-            )
-            for sub in subs
-        ]
+        flows = self.sim.spawn_many(
+            (self._sub_flow(op, handle, sub, priority, sub_ctx)
+             for sub in subs),
+            name=flow_name,
+        )
         try:
             yield self.sim.all_of(flows)
         finally:

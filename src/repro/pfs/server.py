@@ -121,7 +121,7 @@ class FileServer:
         stream = self.stream
         if stream is not None:
             arrival = self.sim.now
-            stream.queue_depth.observe(self.queue.queue_length)
+            depth = self.queue.queue_length
         if ctx is None or ctx is NULL_CONTEXT:
             grant = yield self.queue.acquire(priority)
             start = self.sim.now
@@ -132,7 +132,8 @@ class FileServer:
                 self.queue.release(grant)
             self.busy_log.record(start, self.sim.now, op)
             if stream is not None:
-                stream.service.observe(self.sim.now - arrival)
+                done = self.sim.now
+                stream.record(arrival, depth, done, done - arrival)
             return
         wait_span = ctx.begin("queue_wait", cat="server",
                               component=self.name, op=op)
@@ -152,7 +153,8 @@ class FileServer:
             self.queue.release(grant)
         self.busy_log.record(start, self.sim.now, op)
         if stream is not None:
-            stream.service.observe(self.sim.now - arrival)
+            done = self.sim.now
+            stream.record(arrival, depth, done, done - arrival)
 
     def utilisation(self) -> float:
         """Fraction of elapsed simulation time the device was busy."""

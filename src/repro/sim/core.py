@@ -2,8 +2,26 @@
 
 Engine layout (the hot path of every experiment in the repo):
 
-- Events with a positive delay live in a binary heap keyed by
-  ``(time, seq)``.
+- Events with a positive delay live in the *timed queue*.  Two
+  interchangeable backends implement it, selected per simulator via
+  ``Simulator(scheduler=...)``:
+
+  * ``"calendar"`` (the default) — a calendar queue / timer wheel:
+    a power-of-two ring of buckets, each one bucket-width of simulated
+    time wide.  Insert appends to ``buckets[slot & mask]`` (O(1));
+    pops drain one bucket at a time into a sorted *due* batch.  Events
+    beyond the wheel horizon go to a sorted overflow list and migrate
+    into the wheel as the cursor approaches.  The wheel resizes itself
+    (bucket width and slot count) from occupancy statistics — all
+    content-driven, so resize points are deterministic.
+  * ``"heap"`` — the classic binary heap keyed by ``(time, seq)``;
+    kept for differential testing against the calendar backend.
+
+  Both backends pop in exactly the same ``(time, seq)`` total order:
+  the slot index ``int(time * inv_width)`` is monotonic in ``time``,
+  so walking buckets in slot order and sorting within a bucket
+  reproduces the global sort order bit-for-bit.
+
 - Zero-delay events — the majority in a typical run: resource grants,
   store hand-offs, completion notifications, process bootstraps — go
   to a FIFO *run-queue* instead, costing O(1) to schedule and pop.
@@ -14,23 +32,59 @@ Engine layout (the hot path of every experiment in the repo):
   clock cannot advance while the run-queue is non-empty — so the merge
   only ever compares sequence numbers at one timestamp.)
 - Plain ``yield sim.timeout(x)`` timeouts are recycled through a free
-  pool (see :mod:`repro.sim.events` for the pooling contract).
+  pool (see :mod:`repro.sim.events` for the pooling contract), and
+  process bootstrap events are recycled through a frame pool.
 """
 
 from __future__ import annotations
 
 import heapq
 import typing
+from bisect import insort
 from collections import deque
 
 from ..errors import SimulationError
 from . import events as _events
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Event, Timeout, _Frame
 from .process import Process, ProcessBody
 from .rng import RandomStreams
 
 #: Upper bound on pooled Timeout instances kept for reuse.
 _TIMEOUT_POOL_LIMIT = 256
+#: Upper bound on pooled process bootstrap frames kept for reuse.
+_FRAME_POOL_LIMIT = 256
+
+#: The default timed-queue backend.
+DEFAULT_SCHEDULER = "calendar"
+#: Every backend the engine knows; ``Simulator(scheduler=...)`` must
+#: name one of these (simlint SIM003 checks call sites statically).
+SCHEDULERS = ("calendar", "heap")
+
+# -- calendar-queue geometry ------------------------------------------------
+#: Initial bucket count (always a power of two).
+_CAL_SLOTS0 = 256
+#: Initial bucket width in simulated seconds.  80 us spans the typical
+#: per-request delays of an S4D run (software overhead, small-message
+#: network times); the resize policy adapts from there.
+_CAL_WIDTH0 = 8e-5
+#: Bucket batches between resize-policy checks.
+_CAL_POLICY_BATCHES = 512
+#: Hard bounds for the adaptive bucket width (seconds).
+_CAL_MIN_WIDTH = 1e-9
+_CAL_MAX_WIDTH = 1e3
+#: Slot-count growth cap.
+_CAL_MAX_SLOTS = 1 << 16
+#: Overflow entries tolerated before the wheel re-gears to the
+#: pending span (insort into the sorted overflow is O(len), so the
+#: list must stay shallow); doubled as a backoff when the geometry is
+#: already clamped at its bounds.
+_CAL_OVER_LIMIT0 = 1024
+
+#: Cancelled-entry compaction: once at least this many cancellations
+#: are pending *and* they exceed 1/4 of the live timed queue, the
+#: queue is rebuilt without them (bounds memory under pause/resume-
+#: heavy telemetry workloads).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Simulator:
@@ -40,16 +94,27 @@ class Simulator:
     MPI ranks, the Rebuilder) share one Simulator instance.  Determinism:
     events scheduled for the same time fire in schedule order, and all
     randomness flows through :class:`~repro.sim.rng.RandomStreams`.
+
+    ``scheduler`` selects the timed-queue backend (``"calendar"`` or
+    ``"heap"``); both produce bit-identical event order (see the module
+    docstring).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, scheduler: str = DEFAULT_SCHEDULER):
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
         self.now: float = 0.0
         self.rng = RandomStreams(seed)
+        #: Timed queue, heap backend (stays empty under "calendar").
         self._heap: list[tuple[float, int, Event]] = []
         #: Zero-delay fast lane, in schedule order; each queued event
         #: carries its schedule seq in ``_qseq`` (no tuple wrapping).
         self._runq: deque[Event] = deque()
         self._timeout_pool: list[Timeout] = []
+        self._frame_pool: list[_Frame] = []
         self._seq = 0
         self._next_pid = 0
         self._active_process: Process | None = None
@@ -57,13 +122,47 @@ class Simulator:
         #: ``pid`` — never by ``id()``, which is an allocator address
         #: and differs across runs (DET004).
         self._crashed: dict[int, BaseException] = {}
-        #: Events lazily discarded by :meth:`cancel`; heap pops skip
+        #: Events lazily discarded by :meth:`cancel`; timed pops skip
         #: them *without advancing the clock* (identity set — events
         #: hash by identity, no ``id()`` keys involved).
         self._cancelled: set[Event] = set()
         #: When set, :meth:`run` delegates to the attached
         #: :class:`~repro.obs.streaming.profiler.EngineProfiler`.
         self._profiler = None
+        if scheduler == "calendar":
+            # Calendar state is kept flat on the simulator (not behind
+            # a queue object) so the inlined hot paths pay one
+            # attribute load per field, same as the heap backend.
+            self._cal_inv = 1.0 / _CAL_WIDTH0
+            self._cal_mask = _CAL_SLOTS0 - 1
+            self._cal_buckets: list[list] = [[] for _ in range(_CAL_SLOTS0)]
+            #: The sorted batch currently being drained: every entry
+            #: with slot <= cursor.  ``_cal_due_idx`` is the
+            #: consumption point; entries before it are spent.
+            self._cal_due: list[tuple[float, int, Event]] | None = []
+            self._cal_due_idx = 0
+            #: Entries sitting in buckets (due and overflow excluded —
+            #: their sizes are read directly).  Kept buckets-only so
+            #: consuming from the due batch costs no counter update.
+            self._cal_count = 0
+            #: Far-future entries beyond the wheel horizon, ascending.
+            self._cal_over: list[tuple[float, int, Event]] = []
+            #: Overflow length that triggers :meth:`_cal_regear`.
+            self._cal_over_limit = _CAL_OVER_LIMIT0
+            #: Absolute slot index of the drain cursor (monotonic
+            #: between rebuilds).
+            self._cal_cur = 0
+            # Resize-policy counters (reset at each policy check).
+            self._cal_batches = 0
+            self._cal_scans = 0
+            self._cal_popped = 0
+            #: Inserts that landed at/behind the cursor (due insort).
+            #: When these dominate, bucket width is too coarse for the
+            #: run's delay scale and the wheel narrows itself.
+            self._cal_insorts = 0
+        else:
+            #: ``None`` marks the heap backend on every hot path.
+            self._cal_due = None
 
     @property
     def events_scheduled(self) -> int:
@@ -97,17 +196,166 @@ class Simulator:
             timeout.delay = delay
             timeout._value = value
             timeout._processed = False
-            timeout._had_joiners = False
             if delay == 0.0:
                 self._seq = timeout._qseq = self._seq + 1
                 self._runq.append(timeout)
+                return timeout
+            seq = self._seq = self._seq + 1
+            when = self.now + delay
+            due = self._cal_due
+            if due is not None:
+                # Inlined calendar insert (see _cal_insert).
+                s = int(when * self._cal_inv)
+                d = s - self._cal_cur
+                if 0 < d <= self._cal_mask:
+                    self._cal_buckets[s & self._cal_mask].append(
+                        (when, seq, timeout)
+                    )
+                    self._cal_count += 1
+                elif d <= 0:
+                    idx = self._cal_due_idx
+                    if idx > 1024:
+                        # Trim the spent prefix so insort cost tracks
+                        # the live batch, not consumption history.
+                        del due[:idx]
+                        self._cal_due_idx = idx = 0
+                    # lo=idx: never insort into the spent prefix.  It
+                    # can hold times above ``when`` — a lazily skipped
+                    # cancelled entry is consumed without advancing the
+                    # clock — and an entry landing there would be lost.
+                    insort(due, (when, seq, timeout), idx)
+                    if len(due) - idx > 32:
+                        # Small-batch insorts are as cheap as a bucket
+                        # append; only a fat live batch signals a wheel
+                        # degenerating into one sorted list.
+                        n = self._cal_insorts = self._cal_insorts + 1
+                        if n >= 2048:
+                            self._cal_retune()
+                else:
+                    over = self._cal_over
+                    insort(over, (when, seq, timeout))
+                    if len(over) > self._cal_over_limit:
+                        self._cal_regear()
             else:
-                self._seq += 1
-                heapq.heappush(
-                    self._heap, (self.now + delay, self._seq, timeout)
-                )
+                heapq.heappush(self._heap, (when, seq, timeout))
             return timeout
         return Timeout(self, delay, value)
+
+    def schedule_many(
+        self,
+        delays: typing.Iterable[float] | None = None,
+        value: typing.Any = None,
+        *,
+        at: typing.Iterable[float] | None = None,
+    ) -> list[Timeout]:
+        """Bulk-create timeouts: one engine call for a whole batch.
+
+        ``schedule_many(delays)`` is equivalent to
+        ``[sim.timeout(d, value) for d in delays]`` — same pooling, same
+        sequence numbers, bit-identical schedule — but hoists the
+        per-call attribute traffic out of the loop, which matters for
+        coalesced PFS rounds and sampler ticks that arm dozens of
+        timers at once.
+
+        ``schedule_many(at=times)`` schedules at *absolute* simulated
+        times instead (each >= now).  Callers that pre-arm a cumulative
+        chain (t1 = now + d; t2 = t1 + d; ...) use this form so the
+        armed times are bit-identical to sequential scheduling — a
+        ``now + (t_k - now)`` round-trip through a delay would not be.
+        """
+        if (delays is None) == (at is None):
+            raise SimulationError("schedule_many needs delays or at=, not both")
+        out: list[Timeout] = []
+        pool = self._timeout_pool
+        runq = self._runq
+        now = self.now
+        seq = self._seq
+        due = self._cal_due
+        if due is not None:
+            buckets = self._cal_buckets
+            mask = self._cal_mask
+            inv = self._cal_inv
+            cur = self._cal_cur
+            over = self._cal_over
+            added = 0
+            #: Far-future entries collected locally and merged into the
+            #: overflow list once — per-item insort into a large
+            #: overflow would make bulk pre-arming quadratic.
+            far: list[tuple[float, int, Timeout]] = []
+        else:
+            heap = self._heap
+            heappush = heapq.heappush
+        absolute = delays is None
+        for x in (at if absolute else delays):
+            if absolute:
+                when = x
+                delay = when - now
+            else:
+                delay = x
+                when = now + delay
+            if delay < 0:
+                self._seq = seq
+                if due is not None:
+                    self._cal_count += added
+                    if far:
+                        over.extend(far)
+                        over.sort()
+                raise SimulationError(f"negative timeout delay: {delay}")
+            if pool:
+                timeout = pool.pop()
+                timeout.delay = delay
+                timeout._value = value
+                timeout._processed = False
+            else:
+                timeout = Timeout.__new__(Timeout)
+                # Unrolled Event.__init__ + Timeout.__init__ minus the
+                # scheduling (done below); keep in sync with events.py.
+                timeout.sim = self
+                timeout._cb0 = None
+                timeout._callbacks = None
+                timeout._value = value
+                timeout._exc = None
+                timeout._triggered = True
+                timeout._processed = False
+                timeout._had_joiners = False
+                timeout.delay = delay
+                timeout._reusable = False
+            if delay == 0.0:
+                seq = timeout._qseq = seq + 1
+                runq.append(timeout)
+            else:
+                seq += 1
+                if due is not None:
+                    s = int(when * inv)
+                    d = s - cur
+                    if 0 < d <= mask:
+                        buckets[s & mask].append((when, seq, timeout))
+                        added += 1
+                    elif d <= 0:
+                        # lo: keep out of the spent prefix (see timeout).
+                        insort(due, (when, seq, timeout),
+                               self._cal_due_idx)
+                        if len(due) - self._cal_due_idx > 32:
+                            self._cal_insorts += 1
+                    else:
+                        far.append((when, seq, timeout))
+                else:
+                    heappush(heap, (when, seq, timeout))
+            out.append(timeout)
+        self._seq = seq
+        if due is not None:
+            self._cal_count += added
+            if far:
+                if len(far) == 1:
+                    insort(over, far[0])
+                else:
+                    # One merge for the whole batch; timsort exploits
+                    # the pre-sorted runs of both lists.
+                    over.extend(far)
+                    over.sort()
+                if len(over) > self._cal_over_limit:
+                    self._cal_regear()
+        return out
 
     def all_of(self, events: typing.Sequence[Event]) -> AllOf:
         """Wait for every event in ``events``."""
@@ -121,6 +369,18 @@ class Simulator:
         """Start a new process from a generator; returns the Process."""
         return Process(self, body, name=name)
 
+    def spawn_many(
+        self, bodies: typing.Iterable[ProcessBody], name: str = ""
+    ) -> list[Process]:
+        """Start a batch of processes in order; returns the Processes.
+
+        Semantically ``[sim.spawn(b, name) for b in bodies]`` — spawn
+        order, pids and bootstrap scheduling are identical — as one
+        engine call for coalesced PFS fan-outs.  Bootstrap events come
+        from the frame pool either way.
+        """
+        return [Process(self, body, name=name) for body in bodies]
+
     # -- engine plumbing --------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
         if delay == 0.0:
@@ -129,26 +389,129 @@ class Simulator:
             return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        seq = self._seq = self._seq + 1
+        when = self.now + delay
+        due = self._cal_due
+        if due is None:
+            heapq.heappush(self._heap, (when, seq, event))
+            return
+        s = int(when * self._cal_inv)
+        d = s - self._cal_cur
+        if 0 < d <= self._cal_mask:
+            self._cal_buckets[s & self._cal_mask].append((when, seq, event))
+            self._cal_count += 1
+        elif d <= 0:
+            # At or behind the drain cursor: merge into the live batch,
+            # never into its spent prefix (lo=idx) — skipped cancelled
+            # entries leave future times there, and an entry insorted
+            # behind the consumption point would be lost.
+            idx = self._cal_due_idx
+            if idx > 1024:
+                del due[:idx]
+                self._cal_due_idx = idx = 0
+            insort(due, (when, seq, event), idx)
+            if len(due) - idx > 32:
+                # See timeout(): only fat live batches count toward
+                # the narrow-retune trigger.
+                n = self._cal_insorts = self._cal_insorts + 1
+                if n >= 2048:
+                    self._cal_retune()
+        else:
+            over = self._cal_over
+            insort(over, (when, seq, event))
+            if len(over) > self._cal_over_limit:
+                self._cal_regear()
 
     def cancel(self, event: Event) -> None:
         """Discard a scheduled positive-delay event without firing it.
 
-        The heap entry is dropped *lazily*: when the event reaches the
-        front of the queue it is skipped without advancing the clock,
-        so cancelling (e.g. a telemetry sampler's pending tick) can
-        never shift the timestamp of any later event — float arithmetic
-        downstream stays bit-identical to a run where the event was
-        never scheduled.
+        The timed-queue entry is dropped *lazily*: when the event
+        reaches the front of the queue it is skipped without advancing
+        the clock, so cancelling (e.g. a telemetry sampler's pending
+        tick) can never shift the timestamp of any later event — float
+        arithmetic downstream stays bit-identical to a run where the
+        event was never scheduled.
 
         Only positive-delay events are supported (zero-delay events
         live in the run queue, whose schedule-order contract forbids
         skipping); callers own that invariant.  Cancelling an already
         processed event is a no-op.
+
+        Cancelled entries are compacted out of the queue once they
+        exceed a quarter of its live size (pause/resume-heavy runs
+        would otherwise accumulate them without bound).
         """
-        if not event._processed:
-            self._cancelled.add(event)
+        if event._processed:
+            return
+        cancelled = self._cancelled
+        cancelled.add(event)
+        n = len(cancelled)
+        if n < _COMPACT_MIN_CANCELLED:
+            return
+        if self._cal_due is not None:
+            live = (self._cal_count + len(self._cal_over)
+                    + len(self._cal_due) - self._cal_due_idx)
+        else:
+            live = len(self._heap)
+        if n * 4 >= live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the timed queue without cancelled entries.
+
+        Order preservation is free: entry order derives from
+        ``(time, seq)``, not from queue structure, so dropping entries
+        cannot reorder the survivors.  Only events actually found in
+        the queue leave the cancelled set — an event cancelled before
+        (re)scheduling keeps its pending cancellation.
+        """
+        cancelled = self._cancelled
+        removed: list[Event] = []
+        due = self._cal_due
+        if due is not None:
+            keep: list[tuple[float, int, Event]] = []
+            for entry in due[self._cal_due_idx:]:
+                if entry[2] in cancelled:
+                    removed.append(entry[2])
+                else:
+                    keep.append(entry)
+            self._cal_due = keep
+            self._cal_due_idx = 0
+            count = 0
+            buckets = self._cal_buckets
+            for i, bucket in enumerate(buckets):
+                if not bucket:
+                    continue
+                kept = []
+                for entry in bucket:
+                    if entry[2] in cancelled:
+                        removed.append(entry[2])
+                    else:
+                        kept.append(entry)
+                if len(kept) != len(bucket):
+                    buckets[i] = kept
+                count += len(kept)
+            over = []
+            for entry in self._cal_over:
+                if entry[2] in cancelled:
+                    removed.append(entry[2])
+                else:
+                    over.append(entry)
+            self._cal_over = over
+            self._cal_count = count
+        else:
+            heap = self._heap
+            kept = []
+            for entry in heap:
+                if entry[2] in cancelled:
+                    removed.append(entry[2])
+                else:
+                    kept.append(entry)
+            if removed:
+                heapq.heapify(kept)
+                self._heap = kept
+        if removed:
+            cancelled.difference_update(removed)
 
     def _next_process_id(self) -> int:
         """Monotonic process id, assigned in spawn order (deterministic)."""
@@ -158,18 +521,261 @@ class Simulator:
     def _note_crash(self, process: Process, exc: BaseException) -> None:
         self._crashed[process.pid] = exc
 
-    # -- running -----------------------------------------------------------
-    def _pop_next(self) -> Event:
-        """Pop the globally next event, merging run-queue and heap.
+    # -- calendar internals ----------------------------------------------
+    def _cal_refill(self) -> bool:
+        """Advance the wheel so ``_cal_due[_cal_due_idx]`` is the next
+        timed entry; returns False when the timed queue is empty.
 
-        Heap entries never carry a time below ``now`` (delays are
-        non-negative and the clock only advances to popped times), so
-        a heap event beats the run-queue front only when it shares the
+        One refill extracts one whole bucket (sorted) into the due
+        batch, migrating overflow entries whose slot entered the wheel
+        horizon first.  Every non-empty bucket holds entries of exactly
+        one slot value (wheel entries always sit within ``mask`` slots
+        of the cursor), so whole-bucket extraction preserves the global
+        ``(time, seq)`` order.
+        """
+        if self._cal_batches >= _CAL_POLICY_BATCHES:
+            self._cal_policy()
+        due = self._cal_due
+        if self._cal_due_idx < len(due):
+            return True
+        inv = self._cal_inv
+        mask = self._cal_mask
+        over = self._cal_over
+        cur = self._cal_cur
+        count = self._cal_count
+        if not count:
+            if not over:
+                self._cal_cur = cur
+                return False
+            # Wheel drained: jump the cursor straight to the overflow
+            # head's slot (no empty-slot walk).
+            cur = int(over[0][0] * inv)
+        if over and int(over[0][0] * inv) <= cur + mask:
+            # Migrate every overflow entry now inside the horizon.
+            # While the wheel is non-empty the cursor trails every
+            # overflow slot, so migrated entries land strictly ahead
+            # of it — except on the jump above, where the head batch
+            # lands exactly on the cursor and drains immediately.
+            horizon = cur + mask
+            n = len(over)
+            k = 1
+            while k < n and int(over[k][0] * inv) <= horizon:
+                k += 1
+            buckets = self._cal_buckets
+            pre: list | None = None
+            moved = 0
+            for entry in over[:k]:
+                s = int(entry[0] * inv)
+                if s > cur:
+                    buckets[s & mask].append(entry)
+                    moved += 1
+                else:
+                    if pre is None:
+                        pre = []
+                    pre.append(entry)
+            del over[:k]
+            self._cal_count = count = count + moved
+            if pre is not None:
+                # A sorted prefix of the (sorted) overflow list: drain
+                # it directly as the due batch.
+                self._cal_due = pre
+                self._cal_due_idx = 0
+                self._cal_cur = cur
+                self._cal_batches += 1
+                self._cal_popped += len(pre)
+                return True
+        if not count:
+            self._cal_cur = cur
+            return False
+        buckets = self._cal_buckets
+        scans = 0
+        while True:
+            bucket = buckets[cur & mask]
+            if bucket and int(bucket[0][0] * inv) <= cur:
+                if len(bucket) > 1:
+                    bucket.sort()
+                buckets[cur & mask] = []
+                self._cal_count = count - len(bucket)
+                self._cal_due = bucket
+                self._cal_due_idx = 0
+                self._cal_cur = cur
+                self._cal_scans += scans
+                self._cal_batches += 1
+                self._cal_popped += len(bucket)
+                return True
+            cur += 1
+            scans += 1
+            if scans > mask + 1:  # pragma: no cover - invariant guard
+                raise SimulationError("calendar queue scan overrun")
+
+    def _cal_policy(self) -> None:
+        """Content-driven resize check (deterministic: no wall clock).
+
+        - Many scanned empty slots per batch => buckets too narrow for
+          the event spacing: widen them.
+        - Large batches => buckets too wide: narrow them.
+        - More pending entries than slots => grow the ring.
+        """
+        scans = self._cal_scans
+        batches = self._cal_batches
+        popped = self._cal_popped
+        insorts = self._cal_insorts
+        self._cal_scans = 0
+        self._cal_batches = 0
+        self._cal_popped = 0
+        self._cal_insorts = 0
+        inv = self._cal_inv
+        nslots = self._cal_mask + 1
+        new_inv = inv
+        new_slots = nslots
+        if popped > 32 * batches and inv < 1.0 / _CAL_MIN_WIDTH:
+            new_inv = inv * 8.0
+        elif (insorts < batches and inv > 1.0 / _CAL_MAX_WIDTH
+                and (scans > 8 * batches or popped < 2 * batches)):
+            # Mostly-empty slot walks OR mostly-singleton batches:
+            # buckets are narrower than the event spacing, so every
+            # pop pays full refill overhead.  Widen toward the 2..32
+            # entries-per-batch band (the narrow rule above caps the
+            # other side, so the geometry cannot oscillate).  The
+            # insort guard keeps this from fighting _cal_retune.
+            new_inv = inv / 8.0
+        if self._cal_count > 4 * nslots and nslots < _CAL_MAX_SLOTS:
+            new_slots = nslots * 4
+        if new_inv != inv or new_slots != nslots:
+            self._cal_rebuild(new_inv, new_slots)
+
+    def _cal_regear(self) -> None:
+        """Re-gear the wheel when the overflow list dominates.
+
+        Overflow larger than both the ring and the in-wheel population
+        means the horizon is far too short for the pending
+        distribution — every further far-future insert pays an O(n)
+        insort and every refill an O(n) migration, which is quadratic
+        over a bulk pre-armed drain.  Rebuild with the ring grown
+        toward the pending count and the bucket width set so twice the
+        span to the farthest entry fits the ring (fresh timers near
+        the far edge still land inside the wheel).  Content-driven and
+        deterministic, like every other resize.
+        """
+        over = self._cal_over
+        span = over[-1][0] - self.now
+        pending = (self._cal_count + len(over)
+                   + len(self._cal_due) - self._cal_due_idx)
+        nslots = self._cal_mask + 1
+        while nslots < _CAL_MAX_SLOTS and nslots < pending:
+            nslots *= 4
+        width = min(_CAL_MAX_WIDTH, max(_CAL_MIN_WIDTH,
+                                        2.0 * span / nslots))
+        inv = 1.0 / width
+        if inv != self._cal_inv or nslots != self._cal_mask + 1:
+            self._cal_rebuild(inv, nslots)
+        else:
+            # Geometry already clamped at its bounds: back off so the
+            # next attempt waits for the overflow to double (amortized
+            # O(1) per insert even in the clamped regime).
+            self._cal_over_limit = max(self._cal_over_limit,
+                                       2 * len(self._cal_over))
+
+    def _cal_retune(self) -> None:
+        """Narrow the buckets when inserts keep landing at the cursor.
+
+        Inserts at or behind the cursor (due-insort path) mean delays
+        are shorter than one bucket width — the wheel is degenerating
+        into a single sorted list.  Narrowing restores O(1) bucket
+        inserts.  Triggered purely by insert counts: deterministic.
+        """
+        self._cal_insorts = 0
+        if self._cal_inv < 1.0 / _CAL_MIN_WIDTH:
+            self._cal_rebuild(self._cal_inv * 8.0, self._cal_mask + 1)
+
+    def _cal_rebuild(self, inv: float, nslots: int) -> None:
+        """Re-bucket every pending entry under a new geometry.
+
+        Order cannot change: entries re-sort by the same ``(time, seq)``
+        keys they already carry.
+        """
+        entries = list(self._cal_due[self._cal_due_idx:])
+        for bucket in self._cal_buckets:
+            entries.extend(bucket)
+        entries.sort()
+        entries.extend(self._cal_over)  # overflow: sorted, all later
+        mask = nslots - 1
+        self._cal_inv = inv
+        self._cal_mask = mask
+        buckets = self._cal_buckets = [[] for _ in range(nslots)]
+        due = self._cal_due = []
+        over = self._cal_over = []
+        self._cal_due_idx = 0
+        cur = self._cal_cur = int(self.now * inv)
+        horizon = cur + mask
+        count = 0
+        for entry in entries:
+            s = int(entry[0] * inv)
+            if s <= cur:
+                due.append(entry)
+            elif s <= horizon:
+                buckets[s & mask].append(entry)
+                count += 1
+            else:
+                over.append(entry)
+        self._cal_count = count
+        # Whatever stayed beyond the new horizon was already weighed
+        # by the geometry choice; re-gear again only once the overflow
+        # doubles from here (or crosses the base threshold afresh).
+        self._cal_over_limit = max(_CAL_OVER_LIMIT0, 2 * len(over))
+
+    # -- running -----------------------------------------------------------
+    def _pop_merged(self, until: float | None = None) -> Event | None:
+        """Pop the globally next event, merging run-queue and timed queue.
+
+        Returns None when the queue is drained, or when the next timed
+        event lies beyond ``until`` (the caller finalises ``now``).
+        Timed entries never carry a time below ``now`` (delays are
+        non-negative and the clock only advances to popped times), so a
+        timed event beats the run-queue front only when it shares the
         current timestamp with an earlier sequence number.
         """
         runq = self._runq
-        heap = self._heap
         cancelled = self._cancelled
+        if self._cal_due is not None:
+            while True:
+                due = self._cal_due
+                idx = self._cal_due_idx
+                if idx < len(due):
+                    have = True
+                elif self._cal_count or self._cal_over:
+                    have = self._cal_refill()
+                    if have:
+                        due = self._cal_due
+                        idx = self._cal_due_idx
+                else:
+                    have = False
+                if runq:
+                    if have:
+                        entry = due[idx]
+                        if entry[0] <= self.now and entry[1] < runq[0]._qseq:
+                            self._cal_due_idx = idx + 1
+                            event = entry[2]
+                            if cancelled and event in cancelled:
+                                cancelled.discard(event)
+                                continue
+                            self.now = entry[0]
+                            return event
+                    return runq.popleft()
+                if have:
+                    entry = due[idx]
+                    when = entry[0]
+                    if until is not None and when > until:
+                        return None
+                    self._cal_due_idx = idx + 1
+                    event = entry[2]
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        continue
+                    self.now = when
+                    return event
+                return None
+        heap = self._heap
         while True:
             if runq:
                 if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
@@ -181,13 +787,23 @@ class Simulator:
                     return event
                 return runq.popleft()
             if heap:
-                when, _, event = heapq.heappop(heap)
+                when = heap[0][0]
+                if until is not None and when > until:
+                    return None
+                event = heapq.heappop(heap)[2]
                 if cancelled and event in cancelled:
                     cancelled.discard(event)
                     continue
                 self.now = when
                 return event
+            return None
+
+    def _pop_next(self) -> Event:
+        """Pop the globally next event; raises when the queue is empty."""
+        event = self._pop_merged(None)
+        if event is None:
             raise SimulationError("step() on an empty event queue")
+        return event
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
@@ -204,25 +820,34 @@ class Simulator:
         """Run until the queue drains or the clock passes ``until``.
 
         Returns the final simulation time.  This is the engine's inner
-        loop: the pop is inlined (no per-event ``step()`` call or
-        double heap access) and pooled timeouts are recycled here.
+        loop: the pop is inlined (no per-event ``step()`` call), pooled
+        timeouts and bootstrap frames are recycled here, and the
+        dominant dispatch — resume a waiting process generator — is
+        inlined down to the ``generator.send`` call.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         if self._profiler is not None:
             return self._profiler.run(until)
+        if self._cal_due is not None:
+            return self._run_calendar(until)
+        return self._run_heap(until)
+
+    def _run_heap(self, until: float | None) -> float:
         heap = self._heap
         runq = self._runq
         pool = self._timeout_pool
+        fpool = self._frame_pool
         crashed = self._crashed
         cancelled = self._cancelled
         heappop = heapq.heappop
         generic_process = Event._process
         resume = _events._RESUME
         while True:
+            # -- pop ----------------------------------------------------
             if runq:
-                # Zero-delay fast lane; a heap event sharing the current
-                # timestamp but scheduled earlier still goes first.
+                # Zero-delay fast lane; a timed event sharing the
+                # current timestamp but scheduled earlier still first.
                 if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
                     when, _, event = heappop(heap)
                     if cancelled and event in cancelled:
@@ -243,32 +868,46 @@ class Simulator:
                 self.now = when
             else:
                 break
+            # -- dispatch (shared with _run_calendar; keep in sync) -----
             cls = type(event)
             if cls is Timeout:
-                # Inlined Timeout._process(), including the pooling
-                # decision (sole consumer is a process resume).
                 event._processed = True
                 cb0 = event._cb0
-                if cb0 is not None:
-                    event._cb0 = None
+                if cb0 is None:
+                    continue
+                event._cb0 = None
+                if (event._callbacks is None
+                        and getattr(cb0, "__func__", None) is resume):
+                    # The plain `yield sim.timeout(x)` idiom: recycle
+                    # the timeout and fall through to the inlined
+                    # resume below (the value was read already).
+                    value = event._value
+                    if len(pool) < _TIMEOUT_POOL_LIMIT:
+                        pool.append(event)
+                else:
                     event._had_joiners = True
                     callbacks = event._callbacks
                     if callbacks is None:
-                        if getattr(cb0, "__func__", None) is resume:
-                            cb0(event)
-                            if len(pool) < _TIMEOUT_POOL_LIMIT:
-                                pool.append(event)
-                        else:
-                            cb0(event)
+                        cb0(event)
                     else:
                         event._callbacks = None
                         cb0(event)
                         for callback in callbacks:
                             callback(event)
-                else:
-                    event._had_joiners = False
-                continue
-            if cls._process is generic_process:
+                    continue
+            elif cls is _Frame:
+                # Process bootstrap: always resumes its process; the
+                # frame recycles immediately (nothing else can hold it).
+                event._processed = True
+                cb0 = event._cb0
+                if cb0 is None:
+                    continue
+                event._cb0 = None
+                value = None
+                if len(fpool) < _FRAME_POOL_LIMIT:
+                    event._processed = False
+                    fpool.append(event)
+            elif cls._process is generic_process:
                 # Inlined Event._process(): covers plain events, grants,
                 # conditions and process completions — every class that
                 # does not override the hook.
@@ -278,6 +917,185 @@ class Simulator:
                     event._cb0 = None
                     event._had_joiners = True
                     callbacks = event._callbacks
+                    if (callbacks is None and event._exc is None
+                            and getattr(cb0, "__func__", None) is resume):
+                        value = event._value
+                    else:
+                        if callbacks is None:
+                            cb0(event)
+                        else:
+                            event._callbacks = None
+                            cb0(event)
+                            for callback in callbacks:
+                                callback(event)
+                        if crashed and isinstance(event, Process):
+                            crash = crashed.pop(event.pid, None)
+                            if crash is not None and not event._had_joiners:
+                                raise crash
+                        continue
+                else:
+                    event._had_joiners = False
+                    if crashed and isinstance(event, Process):
+                        # A crashed process with no joiner is an
+                        # unhandled simulation error: surface it.
+                        crash = crashed.pop(event.pid, None)
+                        if crash is not None:
+                            raise crash
+                    continue
+            else:
+                event._process()
+                if crashed and isinstance(event, Process):
+                    crash = crashed.pop(event.pid, None)
+                    if crash is not None and not event._had_joiners:
+                        raise crash
+                continue
+            # -- inlined Process._resume success path -------------------
+            proc = cb0.__self__
+            if proc._triggered:
+                continue  # killed while waiting; stale wakeup
+            proc._waiting_on = None
+            self._active_process = proc
+            try:
+                target = proc.body.send(value)
+            except StopIteration as stop:
+                self._active_process = None
+                proc._presume = None
+                proc.succeed(stop.value)
+                continue
+            except BaseException as exc:  # noqa: BLE001 - fail the process
+                self._active_process = None
+                proc._fail_with(exc)
+                continue
+            self._active_process = None
+            proc._started = True
+            if target.__class__ is Timeout or isinstance(target, Event):
+                if target.sim is self:
+                    proc._waiting_on = target
+                    if target._cb0 is None and not target._processed:
+                        target._cb0 = cb0
+                    else:
+                        target.add_callback(cb0)
+                    continue
+                proc._throw_in(SimulationError(
+                    f"process {proc.name} yielded a foreign event"
+                ))
+                continue
+            proc._throw_in(SimulationError(
+                f"process {proc.name} yielded {target!r}; expected an Event"
+            ))
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def _run_calendar(self, until: float | None) -> float:
+        runq = self._runq
+        pool = self._timeout_pool
+        fpool = self._frame_pool
+        crashed = self._crashed
+        cancelled = self._cancelled
+        refill = self._cal_refill
+        generic_process = Event._process
+        resume = _events._RESUME
+        while True:
+            # -- pop ----------------------------------------------------
+            # Re-read due/idx each iteration: dispatch callbacks can
+            # insort into the live batch or trigger a rebuild.
+            due = self._cal_due
+            idx = self._cal_due_idx
+            if idx < len(due):
+                have = True
+            elif (self._cal_count
+                    and self._cal_batches < _CAL_POLICY_BATCHES
+                    and (not (over := self._cal_over)
+                         or int(over[0][0] * self._cal_inv)
+                         > self._cal_cur + self._cal_mask)):
+                # Inlined _cal_refill scan fast path — no policy check
+                # due and no overflow entry inside the wheel horizon,
+                # so nothing to migrate (keep in sync with refill):
+                # the scan below tops out at cur + mask, strictly
+                # before the earliest overflow slot, so a batch found
+                # here always sorts ahead of every overflow entry.
+                # Far-future timers (a sampler's pre-armed tick chain)
+                # would otherwise park in overflow for most of a run
+                # and force every batch through the slow refill.
+                inv = self._cal_inv
+                mask = self._cal_mask
+                buckets = self._cal_buckets
+                cur = self._cal_cur
+                scans = 0
+                spare = due  # fully consumed: recycle as the empty bucket
+                while True:
+                    due = buckets[cur & mask]
+                    if due and int(due[0][0] * inv) <= cur:
+                        k = len(due)
+                        if k > 1:
+                            due.sort()
+                        del spare[:]
+                        buckets[cur & mask] = spare
+                        self._cal_count -= k
+                        self._cal_due = due
+                        self._cal_due_idx = idx = 0
+                        self._cal_cur = cur
+                        self._cal_scans += scans
+                        self._cal_batches += 1
+                        self._cal_popped += k
+                        have = True
+                        break
+                    cur += 1
+                    scans += 1
+                    if scans > mask + 1:  # pragma: no cover - invariant
+                        raise SimulationError("calendar queue scan overrun")
+            elif self._cal_count or self._cal_over:
+                have = refill()
+                if have:
+                    due = self._cal_due
+                    idx = self._cal_due_idx
+            else:
+                have = False
+            if runq:
+                if have:
+                    entry = due[idx]
+                    if entry[0] <= self.now and entry[1] < runq[0]._qseq:
+                        self._cal_due_idx = idx + 1
+                        event = entry[2]
+                        if cancelled and event in cancelled:
+                            cancelled.discard(event)
+                            continue
+                        self.now = entry[0]
+                    else:
+                        event = runq.popleft()
+                else:
+                    event = runq.popleft()
+            elif have:
+                entry = due[idx]
+                when = entry[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                self._cal_due_idx = idx + 1
+                event = entry[2]
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    continue
+                self.now = when
+            else:
+                break
+            # -- dispatch (mirror of _run_heap; keep in sync) -----------
+            cls = type(event)
+            if cls is Timeout:
+                event._processed = True
+                cb0 = event._cb0
+                if cb0 is None:
+                    continue
+                event._cb0 = None
+                if (event._callbacks is None
+                        and getattr(cb0, "__func__", None) is resume):
+                    value = event._value
+                    if len(pool) < _TIMEOUT_POOL_LIMIT:
+                        pool.append(event)
+                else:
+                    event._had_joiners = True
+                    callbacks = event._callbacks
                     if callbacks is None:
                         cb0(event)
                     else:
@@ -285,16 +1103,88 @@ class Simulator:
                         cb0(event)
                         for callback in callbacks:
                             callback(event)
+                    continue
+            elif cls is _Frame:
+                event._processed = True
+                cb0 = event._cb0
+                if cb0 is None:
+                    continue
+                event._cb0 = None
+                value = None
+                if len(fpool) < _FRAME_POOL_LIMIT:
+                    event._processed = False
+                    fpool.append(event)
+            elif cls._process is generic_process:
+                event._processed = True
+                cb0 = event._cb0
+                if cb0 is not None:
+                    event._cb0 = None
+                    event._had_joiners = True
+                    callbacks = event._callbacks
+                    if (callbacks is None and event._exc is None
+                            and getattr(cb0, "__func__", None) is resume):
+                        value = event._value
+                    else:
+                        if callbacks is None:
+                            cb0(event)
+                        else:
+                            event._callbacks = None
+                            cb0(event)
+                            for callback in callbacks:
+                                callback(event)
+                        if crashed and isinstance(event, Process):
+                            crash = crashed.pop(event.pid, None)
+                            if crash is not None and not event._had_joiners:
+                                raise crash
+                        continue
                 else:
                     event._had_joiners = False
+                    if crashed and isinstance(event, Process):
+                        crash = crashed.pop(event.pid, None)
+                        if crash is not None:
+                            raise crash
+                    continue
             else:
                 event._process()
-            if crashed and isinstance(event, Process):
-                # A crashed process with no joiner is an unhandled
-                # simulation error: surface it, don't drop it.
-                crash = crashed.pop(event.pid, None)
-                if crash is not None and not event._had_joiners:
-                    raise crash
+                if crashed and isinstance(event, Process):
+                    crash = crashed.pop(event.pid, None)
+                    if crash is not None and not event._had_joiners:
+                        raise crash
+                continue
+            # -- inlined Process._resume success path -------------------
+            proc = cb0.__self__
+            if proc._triggered:
+                continue
+            proc._waiting_on = None
+            self._active_process = proc
+            try:
+                target = proc.body.send(value)
+            except StopIteration as stop:
+                self._active_process = None
+                proc._presume = None
+                proc.succeed(stop.value)
+                continue
+            except BaseException as exc:  # noqa: BLE001 - fail the process
+                self._active_process = None
+                proc._fail_with(exc)
+                continue
+            self._active_process = None
+            proc._started = True
+            if target.__class__ is Timeout or isinstance(target, Event):
+                if target.sim is self:
+                    proc._waiting_on = target
+                    if target._cb0 is None and not target._processed:
+                        target._cb0 = cb0
+                    else:
+                        target.add_callback(cb0)
+                    continue
+                proc._throw_in(SimulationError(
+                    f"process {proc.name} yielded a foreign event"
+                ))
+                continue
+            proc._throw_in(SimulationError(
+                f"process {proc.name} yielded {target!r}; expected an Event"
+            ))
         if until is not None:
             self.now = until
         return self.now
@@ -317,7 +1207,12 @@ class Simulator:
     def queued_events(self) -> int:
         """Number of events currently scheduled (for tests/diagnostics).
 
-        Cancelled-but-not-yet-popped events still occupy heap slots;
+        Cancelled-but-not-yet-popped events still occupy queue slots;
         they are excluded here because they will never fire.
         """
-        return len(self._heap) + len(self._runq) - len(self._cancelled)
+        if self._cal_due is not None:
+            timed = (self._cal_count + len(self._cal_over)
+                     + len(self._cal_due) - self._cal_due_idx)
+        else:
+            timed = len(self._heap)
+        return timed + len(self._runq) - len(self._cancelled)

@@ -216,6 +216,20 @@ class Timeout(Event):
                     callback(self)
 
 
+class _Frame(Event):
+    """A process bootstrap event (engine-internal).
+
+    Dedicated subclass so the run loop can recognise bootstraps by
+    class and recycle them through the simulator's frame pool: nothing
+    outside :class:`~repro.sim.process.Process.__init__` ever holds a
+    reference, so the instance is free the moment its resume ran.
+    Pooled frames keep ``_triggered = True`` and ``_value = None`` for
+    life (a bootstrap resume always sends None).
+    """
+
+    __slots__ = ()
+
+
 class _Condition(Event):
     """Base for AllOf/AnyOf: waits on a set of child events."""
 

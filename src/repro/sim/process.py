@@ -15,7 +15,7 @@ import typing
 
 from ..errors import ProcessKilled, SimulationError
 from . import events
-from .events import Event
+from .events import Event, _Frame
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from .core import Simulator
@@ -55,11 +55,18 @@ class Process(Event):
         # die by refcount and the GC would carry the whole population.
         self._presume = self._resume
         # Kick off the generator at the current simulation time via an
-        # immediately-processed bootstrap event (add_callback + succeed
-        # unrolled: the event is fresh, so the fast paths always apply).
-        bootstrap = Event(sim)
+        # immediately-processed bootstrap frame (add_callback + succeed
+        # unrolled: the frame is fresh or pool-reset, so the fast paths
+        # always apply).  Frames recycle through the simulator's frame
+        # pool — the run loop reclaims them right after the bootstrap
+        # resume, so process-heavy fan-outs reuse a few dozen objects.
+        pool = sim._frame_pool
+        if pool:
+            bootstrap = pool.pop()
+        else:
+            bootstrap = _Frame(sim)
+            bootstrap._triggered = True
         bootstrap._cb0 = self._presume
-        bootstrap._triggered = True
         sim._seq = bootstrap._qseq = sim._seq + 1
         sim._runq.append(bootstrap)
 

@@ -1,0 +1,79 @@
+"""SIM003: Simulator constructed with an unknown scheduler name."""
+
+from repro.sim.core import SCHEDULERS
+
+from .util import codes, lint_snippet
+
+
+def test_unknown_keyword_literal_flagged():
+    findings = lint_snippet(
+        """
+        def build():
+            return Simulator(seed=1, scheduler="calender")
+        """
+    )
+    assert codes(findings) == ["SIM003"]
+
+
+def test_unknown_positional_literal_flagged():
+    findings = lint_snippet(
+        """
+        def build():
+            return Simulator(0, "fifo")
+        """
+    )
+    assert codes(findings) == ["SIM003"]
+
+
+def test_attribute_call_flagged():
+    findings = lint_snippet(
+        """
+        def build(sim_mod):
+            return sim_mod.Simulator(scheduler="bogus")
+        """
+    )
+    assert codes(findings) == ["SIM003"]
+
+
+def test_known_backends_not_flagged():
+    findings = lint_snippet(
+        """
+        def build():
+            a = Simulator(scheduler="calendar")
+            b = Simulator(scheduler="heap")
+            return a, b
+        """
+    )
+    assert findings == []
+    # The snippet above must track the engine's real backend tuple.
+    assert set(SCHEDULERS) == {"calendar", "heap"}
+
+
+def test_non_literal_arguments_not_flagged():
+    findings = lint_snippet(
+        """
+        def build(name):
+            return Simulator(scheduler=name or DEFAULT_SCHEDULER)
+        """
+    )
+    assert findings == []
+
+
+def test_default_construction_not_flagged():
+    findings = lint_snippet(
+        """
+        def build():
+            return Simulator(seed=42)
+        """
+    )
+    assert findings == []
+
+
+def test_inline_disable_respected():
+    findings = lint_snippet(
+        """
+        def build():
+            return Simulator(scheduler="bogus")  # simlint: disable=SIM003
+        """
+    )
+    assert findings == []

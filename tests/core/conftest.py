@@ -26,6 +26,17 @@ def s4d_cluster():
 
 
 @pytest.fixture
+def s4d_uncoalesced_cluster():
+    """Like ``s4d_cluster`` but with legacy per-fragment timing.
+
+    For tests whose scenario depends on the uncoalesced event
+    schedule (e.g. racing a write against a rebuild cycle).
+    """
+    return build_cluster(small_spec(coalesce=False), s4d=True,
+                         cache_capacity=4 * MiB)
+
+
+@pytest.fixture
 def tiny_cache_cluster():
     """An S4D cluster whose cache fits only a few requests."""
     return build_cluster(small_spec(), s4d=True, cache_capacity=64 * KiB)

@@ -7,7 +7,7 @@ or how the DMT recovered from a crash.  Write stamps make this
 checkable byte-for-byte against a trivial dict model.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import ClusterSpec, build_cluster
@@ -57,6 +57,56 @@ operations = st.lists(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
+@example(
+    ops=[('write', 0, 1, 0),
+     ('write', 24, 1, 0),
+     ('write', 24, 2, 0),
+     ('drain', 0, 0, 0),
+     ('write', 5, 3, 0),
+     ('read', 7, 3, 0),
+     ('drain', 0, 0, 0),
+     ('read', 0, 2, 0),
+     ('drain', 0, 0, 0),
+     ('recover', 0, 0, 0),
+     ('write', 0, 1, 0),
+     ('write', 0, 1, 0),
+     ('drain', 0, 0, 0),
+     ('write', 0, 1, 0),
+     ('read', 4, 1, 0),
+     ('drain', 0, 0, 0),
+     ('write', 0, 3, 0),
+     ('recover', 0, 0, 0)],
+    capacity_blocks=64,
+).via('discovered failure')  # zombie rebuilder movement across recover()
+@example(
+    ops=[('write', 0, 1, 0),
+     ('write', 2, 1, 0),
+     ('write', 11, 2, 0),
+     ('drain', 0, 0, 0),
+     ('write', 5, 3, 0),
+     ('read', 7, 3, 0),
+     ('drain', 0, 0, 0),
+     ('read', 0, 2, 0),
+     ('drain', 0, 0, 0),
+     ('recover', 0, 0, 0),
+     ('write', 1, 3, 0),
+     ('read', 2, 3, 0)],
+    capacity_blocks=64,
+).via('discovered failure')  # zombie rebuilder movement across recover()
+@example(
+    ops=[('write', 0, 1, 0),
+     ('write', 2, 1, 0),
+     ('write', 10, 2, 0),
+     ('drain', 0, 0, 0),
+     ('write', 4, 2, 0),
+     ('read', 7, 3, 0),
+     ('drain', 0, 0, 0),
+     ('read', 0, 2, 0),
+     ('drain', 0, 0, 0),
+     ('recover', 0, 0, 0),
+     ('write', 1, 3, 0)],
+    capacity_blocks=8,
+).via('discovered failure')  # zombie rebuilder movement across recover()
 def test_read_always_sees_latest_write(ops, capacity_blocks):
     cluster = small_cluster(capacity_blocks)
     mw = cluster.middleware

@@ -77,9 +77,12 @@ def test_redirty_during_flush_keeps_extent_dirty(s4d_cluster):
     assert rres.segments[0][2] == res.stamp
 
 
-def test_fetch_skips_already_mapped_segments(s4d_cluster):
-    mw = s4d_cluster.middleware
-    sim = s4d_cluster.sim
+def test_fetch_skips_already_mapped_segments(s4d_uncoalesced_cluster):
+    # Legacy (uncoalesced) timing: the scenario needs the mapping
+    # write to land before a periodic rebuild cycle fetches the
+    # second critical mark, which coalesced round timing outpaces.
+    mw = s4d_uncoalesced_cluster.middleware
+    sim = s4d_uncoalesced_cluster.sim
 
     def body():
         f = yield from MPIFile.open(mw, 0, "/data", 64 * MiB)

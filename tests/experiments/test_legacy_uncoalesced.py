@@ -1,0 +1,67 @@
+"""The legacy (uncoalesced) determinism pin.
+
+Coalescing is the default now, and ``golden_results.json`` is blessed
+under it.  The pre-coalescing event schedule remains reachable via
+``coalesce=False`` / ``--no-coalesce`` and its digests are pinned in
+``golden_results_uncoalesced.json`` — this file keeps that pin honest.
+Regenerate with::
+
+    PYTHONPATH=src python tests/experiments/capture_golden.py --legacy
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from capture_golden import (  # noqa: E402
+    FIXTURE,
+    GOLDEN_POINTS,
+    LEGACY_FIXTURE,
+)
+
+#: The cheapest golden point whose digest actually differs between the
+#: coalesced and legacy schedules (fig9/table3 requests never span more
+#: fragments than servers, so coalescing is a no-op for them).
+LEGACY_CHECK_POINT = ("fig6b", 0.05)
+
+
+def test_legacy_fixture_covers_declared_points():
+    points = json.loads(LEGACY_FIXTURE.read_text())["points"]
+    assert set(points) == {
+        f"{exp_id}@{scale}" for exp_id, scale in GOLDEN_POINTS
+    }
+
+
+def test_legacy_check_point_distinguishes_the_schedules():
+    """The replayed point must be one where coalescing matters —
+    otherwise test_legacy_point_reproduces_uncoalesced_digest would
+    pass even with the coalesce plumbing broken."""
+    exp_id, scale = LEGACY_CHECK_POINT
+    key = f"{exp_id}@{scale}"
+    legacy = json.loads(LEGACY_FIXTURE.read_text())["points"][key]
+    blessed = json.loads(FIXTURE.read_text())["points"][key]
+    assert legacy["digest"] != blessed["digest"]
+
+
+def test_legacy_point_reproduces_uncoalesced_digest():
+    """Replaying a point with coalescing forced off still produces the
+    pre-coalescing bits.  Runs in a subprocess so the override and the
+    in-process experiment memoisation cannot leak into other tests."""
+    exp_id, scale = LEGACY_CHECK_POINT
+    script = (
+        "from repro.experiments import common, harness\n"
+        "import repro.experiments\n"
+        "common.COALESCE_OVERRIDE = False\n"
+        f"result = harness.get_experiment({exp_id!r}).run({scale!r})\n"
+        "print(harness.fingerprint_digest(result))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=300, check=True,
+    )
+    digest = proc.stdout.strip().splitlines()[-1]
+    key = f"{exp_id}@{scale}"
+    legacy = json.loads(LEGACY_FIXTURE.read_text())["points"][key]
+    assert digest == legacy["digest"]

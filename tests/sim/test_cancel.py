@@ -94,3 +94,35 @@ def test_run_until_past_raises():
     sim.run()
     with pytest.raises(SimulationError):
         sim.run(until=0.5)
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_cancel_heavy_run_keeps_queue_bounded(scheduler):
+    """Lazy cancellation must not grow the timed queue without bound.
+
+    A pause/resume-heavy caller (the telemetry sampler) cancels far
+    more timers than it fires; compaction has to keep both the
+    cancelled set and the queue proportional to the *live* entries,
+    not to the total ever cancelled.
+    """
+    from repro.sim.core import _COMPACT_MIN_CANCELLED
+
+    sim = Simulator(seed=1, scheduler=scheduler)
+    keep = [sim.timeout(10.0 + i * 1e-3) for i in range(32)]
+    for round_ in range(50):
+        doomed = [sim.timeout(1.0 + i * 1e-4) for i in range(100)]
+        for ev in doomed:
+            sim.cancel(ev)
+        # Steady-state invariant after every round: compaction fires
+        # once the cancelled set reaches a quarter of the live size,
+        # so it can never exceed that watermark by more than a round.
+        assert len(sim._cancelled) <= max(
+            _COMPACT_MIN_CANCELLED + 100, sim.queued_events
+        )
+    # 5000 cancels later the queue holds ~the 32 live timers.
+    assert sim.queued_events == 32
+    assert len(sim._cancelled) < 5000 / 4
+    sim.run()
+    assert all(ev.processed for ev in keep)
+    assert sim.now == pytest.approx(10.0 + 31 * 1e-3)
+    assert not sim._cancelled

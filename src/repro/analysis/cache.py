@@ -1,0 +1,144 @@
+"""Incremental lint cache: skip rule execution for unchanged files.
+
+The whole-program pass parses every file on every run (the project
+fingerprint needs all the trees), but running the rule suite is the
+expensive half, so ``repro lint --changed`` reuses a file's previous
+findings when nothing that could alter them has changed:
+
+- the file's own bytes (content hash),
+- the resolved configuration (selection, allowlists, sim packages,
+  and the set of registered rules — adding a rule must invalidate
+  everything),
+- the *semantic* project fingerprint: a hash of every function's
+  summaries (generator-ness, process-ness, taint, call edges), not of
+  other files' bytes.  Editing a comment in module A therefore dirties
+  only A; flipping A's ``returns_tainted`` dirties the world, as it
+  must, because DET006 consults that summary from any caller.
+
+The cache is one JSON file, written atomically (temp + rename) so an
+interrupted run never leaves a truncated cache behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+from .config import LintConfig
+from .findings import Finding
+
+#: Bumped whenever the stored shape changes; old caches are discarded.
+CACHE_VERSION = 2
+
+#: Default cache location, relative to the lint root.
+DEFAULT_CACHE_NAME = ".simlint_cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: LintConfig, rule_codes) -> str:
+    """Hash of everything configuration-shaped that affects findings."""
+    payload = repr((
+        tuple(config.sim_packages),
+        tuple(sorted(
+            (code, tuple(globs)) for code, globs in config.allow.items()
+        )),
+        tuple(sorted(config.select)),
+        tuple(sorted(config.ignore)),
+        tuple(sorted(rule_codes)),
+        CACHE_VERSION,
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class LintCache:
+    """Per-file findings keyed by content hash + run fingerprints."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = path
+        self._config_fp: str | None = None
+        self._project_fp: str | None = None
+        #: rel_path -> {"hash": str, "findings": [finding dicts]}.
+        self._files: dict[str, dict] = {}
+
+    @classmethod
+    def load(cls, path: pathlib.Path | str) -> "LintCache":
+        cache = cls(pathlib.Path(path))
+        try:
+            data = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict):
+            return cache
+        if data.get("version") != CACHE_VERSION:
+            return cache
+        cache._config_fp = data.get("config")
+        cache._project_fp = data.get("project")
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        return cache
+
+    def lookup(
+        self,
+        rel_path: str,
+        file_hash: str,
+        config_fp: str,
+        project_fp: str,
+    ) -> list[Finding] | None:
+        """The cached findings, or None when anything is dirty."""
+        if self._config_fp != config_fp or self._project_fp != project_fp:
+            return None
+        entry = self._files.get(rel_path)
+        if not isinstance(entry, dict) or entry.get("hash") != file_hash:
+            return None
+        findings = []
+        for raw in entry.get("findings", []):
+            try:
+                findings.append(Finding(
+                    path=raw["path"], line=raw["line"], col=raw["col"],
+                    code=raw["code"], message=raw["message"],
+                ))
+            except (KeyError, TypeError):
+                return None
+        return findings
+
+    def store(
+        self, rel_path: str, file_hash: str, findings: list[Finding]
+    ) -> None:
+        self._files[rel_path] = {
+            "hash": file_hash,
+            "findings": [f.as_dict() for f in findings],
+        }
+
+    def save(
+        self, config_fp: str, project_fp: str, checked: set[str]
+    ) -> None:
+        """Write the cache, dropping entries for files no longer seen."""
+        payload = {
+            "version": CACHE_VERSION,
+            "config": config_fp,
+            "project": project_fp,
+            "files": {
+                rel: entry
+                for rel, entry in sorted(self._files.items())
+                if rel in checked
+            },
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout must still lint; it just stays cold.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

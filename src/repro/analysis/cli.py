@@ -14,9 +14,11 @@ import pathlib
 import sys
 import typing
 
+from .cache import DEFAULT_CACHE_NAME
 from .config import load_config
 from .engine import lint_paths
 from .registry import RULES
+from .sarif import dump_sarif
 
 
 def _parse_codes(raw: str | None) -> frozenset[str]:
@@ -40,8 +42,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-out", default=None, metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log to FILE (for "
+             "GitHub code-scanning upload), independent of --format",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="reuse cached findings for files whose content, config "
+             "and project fingerprint are unchanged since the last "
+             "cached run",
+    )
+    parser.add_argument(
+        "--cache-file", default=None, metavar="FILE",
+        help="incremental cache location (default: "
+             f"<root>/{DEFAULT_CACHE_NAME}; implied by --changed)",
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
@@ -95,11 +113,25 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         print(f"error: no such path: {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    report = lint_paths(args.paths, config, root=root)
+    cache_path = None
+    if args.cache_file is not None:
+        cache_path = pathlib.Path(args.cache_file)
+    elif args.changed:
+        cache_path = root / DEFAULT_CACHE_NAME
+    report = lint_paths(
+        args.paths, config, root=root,
+        cache_path=cache_path, changed_only=args.changed,
+    )
+
+    if args.sarif_out is not None:
+        with open(args.sarif_out, "w", encoding="utf-8") as sarif_file:
+            dump_sarif(report, sarif_file)
 
     if args.format == "json":
         json.dump(report.as_dict(), out, indent=2)
         out.write("\n")
+    elif args.format == "sarif":
+        dump_sarif(report, out)
     else:
         for finding in report.findings:
             out.write(finding.format_text() + "\n")
@@ -113,8 +145,13 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             else f"{len(report.findings)} finding"
             + ("s" if len(report.findings) != 1 else "")
         )
+        reused = (
+            f" ({report.files_reused} reused from cache)"
+            if report.files_reused else ""
+        )
         out.write(
-            f"simlint: {report.files_checked} {noun} checked, {verdict}\n"
+            f"simlint: {report.files_checked} {noun} checked{reused}, "
+            f"{verdict}\n"
         )
     return 0 if report.clean else 1
 

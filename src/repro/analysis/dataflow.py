@@ -1,0 +1,545 @@
+"""Intraprocedural dataflow: CFGs, a fixpoint solver, reaching defs.
+
+The whole-program rules (DET006 taint, SIM004 resource leaks) need to
+reason about *paths* through a function, not just its syntax tree:
+"does every path from this allocation reach a release before the
+function can exit?" is unanswerable with a plain ``ast.NodeVisitor``.
+This module provides the minimum machinery those questions need:
+
+:func:`build_cfg`
+    A statement-level control-flow graph of one function body.  Each
+    simple statement is its own node, so facts can be tracked to the
+    exact statement that changes them.  The builder models the
+    constructs that matter for simulation code:
+
+    - ``if``/``while``/``for`` with branch edges; ``while True`` has
+      no fall-through exit (the Rebuilder's ``_run`` loop never
+      returns normally);
+    - ``try``/``except``/``finally`` with *exception edges*: any
+      statement containing a ``yield`` can raise (a killed process
+      receives :class:`~repro.errors.ProcessKilled` at its yield
+      points; a failed event throws its exception there too), so such
+      statements get an edge to the innermost handler dispatch, or to
+      the function's exceptional exit;
+    - branch *labels* for the ``if x is None`` guard idiom, so a
+      path-sensitive client can prune the branch where an allocation
+      is known to have failed.
+
+:func:`solve_forward`
+    A worklist fixpoint solver for forward may-analyses over the CFG
+    (state = frozenset of facts, join = union).
+
+:class:`ReachingDefinitions`
+    The classic analysis, built on the solver: which assignments can
+    reach each statement.  DET006's taint tracking is the same loop
+    with a different transfer function.
+
+Exception-edge philosophy: only ``yield``/``yield from`` and ``raise``
+statements get exception edges.  Treating *every* call as may-raise
+would be sound but would drown the leak rules in noise; in this
+codebase the dominant "surprise unwind" really is a kill or a failed
+event delivered at a yield point, which is exactly what the golden
+consistency suite exercises.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+#: Edge labels.  ``None`` is an ordinary edge; ``EXC`` an exceptional
+#: one; ``("isnone", name)`` / ``("notnone", name)`` annotate the two
+#: arms of an ``if name is None`` test.
+EXC = "exc"
+Label = typing.Union[None, str, typing.Tuple[str, str]]
+
+
+class Node:
+    """One CFG node: a statement, or a structural entry/exit/join."""
+
+    __slots__ = ("kind", "stmt", "succs", "handler")
+
+    def __init__(self, kind: str, stmt: ast.AST | None = None):
+        #: "entry", "exit", "raise" (exceptional exit), "stmt", "join".
+        self.kind = kind
+        self.stmt = stmt
+        self.succs: list[tuple["Node", Label]] = []
+        #: For handler-entry nodes: the ``ast.ExceptHandler``.
+        self.handler: ast.ExceptHandler | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = getattr(self.stmt, "lineno", "?") if self.stmt else "-"
+        return f"<Node {self.kind}@{where}>"
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, fn: ast.AST):
+        self.fn = fn
+        self.entry = Node("entry")
+        self.exit = Node("exit")
+        #: Exceptional exit: an uncaught exception leaves the function.
+        self.raise_exit = Node("raise")
+        self.nodes: list[Node] = [self.entry, self.exit, self.raise_exit]
+        #: statement -> its node (statements are unique AST objects).
+        self.node_of: dict[ast.AST, Node] = {}
+
+    def preds(self) -> dict[Node, list[tuple[Node, Label]]]:
+        """Predecessor map (built on demand; the builder stores succs)."""
+        preds: dict[Node, list[tuple[Node, Label]]] = {
+            node: [] for node in self.nodes
+        }
+        for node in self.nodes:
+            for succ, label in node.succs:
+                preds[succ].append((node, label))
+        return preds
+
+
+def yields_in_own_scope(node: ast.AST) -> bool:
+    """True if ``node`` contains a yield outside any nested function."""
+    stack: list[ast.AST] = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+        if not first and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        first = False
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def stmt_can_raise(stmt: ast.AST) -> bool:
+    """True when the statement gets an exception edge (see module doc)."""
+    return isinstance(stmt, ast.Raise) or yields_in_own_scope(stmt)
+
+
+def _none_test(test: ast.expr) -> tuple[str, str, str] | None:
+    """Decode ``x is None`` style tests.
+
+    Returns ``(name, true_label, false_label)`` where the labels are
+    "isnone"/"notnone", or None for any other test expression.
+    """
+    negate = False
+    while isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        test = test.operand
+        negate = not negate
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and isinstance(test.left, ast.Name)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        is_none_on_true = isinstance(test.ops[0], ast.Is)
+        if negate:
+            is_none_on_true = not is_none_on_true
+        name = test.left.id
+        if is_none_on_true:
+            return name, "isnone", "notnone"
+        return name, "notnone", "isnone"
+    return None
+
+
+def _catches_everything(type_node: ast.expr) -> bool:
+    names = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    for name in names:
+        tail = (
+            name.attr if isinstance(name, ast.Attribute)
+            else name.id if isinstance(name, ast.Name)
+            else None
+        )
+        if tail in ("BaseException", "Exception"):
+            return True
+    return False
+
+
+class _Frame:
+    """One enclosing ``try``/``finally`` during the build.
+
+    Entrant classes get *separate* join nodes so the finally body can
+    be duplicated per class: control that enters the finally normally
+    must not inherit the exceptional continuation (and vice versa) —
+    merging them once made every post-``finally`` statement look
+    reachable with a pending exception, which broke the leak rule's
+    path reasoning on the Rebuilder's release-in-handler pattern.
+    """
+
+    __slots__ = ("exc_join", "ret_join", "has_return", "has_exc")
+
+    def __init__(self, exc_join: Node, ret_join: Node):
+        self.exc_join = exc_join
+        self.ret_join = ret_join
+        self.has_return = False
+        self.has_exc = False
+
+
+class _Builder:
+    """Recursive-descent CFG construction."""
+
+    def __init__(self, fn: ast.AST):
+        self.cfg = CFG(fn)
+        #: (continue_target, break_collector) per enclosing loop.
+        self.loops: list[tuple[Node, list[Node]]] = []
+        #: Finally frames enclosing the current point, innermost last
+        #: (returns must detour through them before leaving).
+        self.frames: list[_Frame] = []
+        #: Exception targets, innermost last: a handler-dispatch node,
+        #: a ``_Frame`` (finally with no handler), or the raise exit.
+        self.exc_stack: list[typing.Union[Node, _Frame]] = [
+            self.cfg.raise_exit
+        ]
+
+    # -- plumbing ---------------------------------------------------------
+    def new(self, kind: str, stmt: ast.AST | None = None) -> Node:
+        node = Node(kind, stmt)
+        self.cfg.nodes.append(node)
+        if stmt is not None and kind == "stmt":
+            # setdefault: a finally body is built once per entrant
+            # class; the first (normal-path) copy is the canonical node
+            # for ``node_of`` lookups.
+            self.cfg.node_of.setdefault(stmt, node)
+        return node
+
+    @staticmethod
+    def connect(frontier: list[tuple[Node, Label]], target: Node) -> None:
+        for node, label in frontier:
+            node.succs.append((target, label))
+
+    def exc_target(self) -> Node:
+        """Where an exception raised here goes."""
+        top = self.exc_stack[-1]
+        if isinstance(top, _Frame):
+            top.has_exc = True
+            return top.exc_join
+        return top
+
+    def return_target(self) -> Node:
+        """Where a ``return`` goes (innermost finally, or the exit)."""
+        if self.frames:
+            self.frames[-1].has_return = True
+            return self.frames[-1].ret_join
+        return self.cfg.exit
+
+    # -- statements -------------------------------------------------------
+    def stmts(
+        self, body: list[ast.stmt], frontier: list[tuple[Node, Label]]
+    ) -> list[tuple[Node, Label]]:
+        for stmt in body:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(
+        self, stmt: ast.stmt, frontier: list[tuple[Node, Label]]
+    ) -> list[tuple[Node, Label]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+
+        node = self.new("stmt", stmt)
+        self.connect(frontier, node)
+        if isinstance(stmt, ast.Raise):
+            node.succs.append((self.exc_target(), EXC))
+            return []
+        if stmt_can_raise(stmt):
+            node.succs.append((self.exc_target(), EXC))
+        if isinstance(stmt, ast.Return):
+            node.succs.append((self.return_target(), None))
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                node.succs.append((self.loops[-1][0], None))
+            return []
+        return [(node, None)]
+
+    def _if(self, stmt: ast.If, frontier):
+        test = self.new("stmt", stmt)
+        self.connect(frontier, test)
+        decoded = _none_test(stmt.test)
+        if decoded is not None:
+            name, true_label, false_label = decoded
+            then_label: Label = (true_label, name)
+            else_label: Label = (false_label, name)
+        else:
+            then_label = else_label = None
+        out = self.stmts(stmt.body, [(test, then_label)])
+        if stmt.orelse:
+            out = out + self.stmts(stmt.orelse, [(test, else_label)])
+        else:
+            out = out + [(test, else_label)]
+        return out
+
+    def _while(self, stmt: ast.While, frontier):
+        head = self.new("stmt", stmt)
+        self.connect(frontier, head)
+        breaks: list[Node] = []
+        self.loops.append((head, breaks))
+        body_out = self.stmts(stmt.body, [(head, None)])
+        self.connect(body_out, head)
+        self.loops.pop()
+        infinite = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        if infinite:
+            out: list[tuple[Node, Label]] = []
+        elif stmt.orelse:
+            out = self.stmts(stmt.orelse, [(head, None)])
+        else:
+            out = [(head, None)]
+        return out + [(b, None) for b in breaks]
+
+    def _for(self, stmt, frontier):
+        head = self.new("stmt", stmt)
+        self.connect(frontier, head)
+        breaks: list[Node] = []
+        self.loops.append((head, breaks))
+        body_out = self.stmts(stmt.body, [(head, None)])
+        self.connect(body_out, head)
+        self.loops.pop()
+        if stmt.orelse:
+            out = self.stmts(stmt.orelse, [(head, None)])
+        else:
+            out = [(head, None)]
+        return out + [(b, None) for b in breaks]
+
+    def _try(self, stmt: ast.Try, frontier):
+        frame = (
+            _Frame(self.new("join"), self.new("join"))
+            if stmt.finalbody else None
+        )
+        dispatch = self.new("join") if stmt.handlers else None
+
+        if frame is not None:
+            self.frames.append(frame)
+
+        # Body: exceptions go to the handlers first, else the finally,
+        # else whatever encloses this try.
+        if dispatch is not None:
+            self.exc_stack.append(dispatch)
+        elif frame is not None:
+            self.exc_stack.append(frame)
+        body_out = self.stmts(stmt.body, list(frontier))
+        if dispatch is not None or frame is not None:
+            self.exc_stack.pop()
+
+        # The else-clause runs after a clean body; its exceptions skip
+        # the handlers.
+        if stmt.orelse:
+            if frame is not None:
+                self.exc_stack.append(frame)
+            body_out = self.stmts(stmt.orelse, body_out)
+            if frame is not None:
+                self.exc_stack.pop()
+
+        handler_out: list[tuple[Node, Label]] = []
+        caught_all = False
+        if dispatch is not None:
+            if frame is not None:
+                self.exc_stack.append(frame)
+            for handler in stmt.handlers:
+                entry = self.new("stmt", handler)
+                entry.handler = handler
+                dispatch.succs.append((entry, EXC))
+                handler_out += self.stmts(handler.body, [(entry, None)])
+                if handler.type is None or _catches_everything(handler.type):
+                    caught_all = True
+            if frame is not None:
+                self.exc_stack.pop()
+            if not caught_all:
+                # An unmatched exception propagates past the handlers.
+                dispatch.succs.append((self.exc_target_of(frame), EXC))
+
+        if frame is not None:
+            self.frames.pop()
+            # Duplicate the finally body per entrant class so each copy
+            # keeps its own continuation.  A single shared copy would
+            # give the normal path the exceptional out-edge added for a
+            # handler's re-raise (and vice versa) — exactly the kind of
+            # spurious path that made the leak rule see the Rebuilder's
+            # release-in-handler pattern as leaking on the clean path.
+            out: list[tuple[Node, Label]] = []
+            normal_in = body_out + handler_out
+            if normal_in:
+                out = self.stmts(stmt.finalbody, normal_in)
+            if frame.has_exc:
+                exc_out = self.stmts(
+                    stmt.finalbody, [(frame.exc_join, None)]
+                )
+                target = self.exc_target()
+                for node, _label in exc_out:
+                    node.succs.append((target, EXC))
+            if frame.has_return:
+                ret_out = self.stmts(
+                    stmt.finalbody, [(frame.ret_join, None)]
+                )
+                target = self.return_target()
+                for node, _label in ret_out:
+                    node.succs.append((target, None))
+            return out
+        return body_out + handler_out
+
+    def exc_target_of(self, frame: _Frame | None) -> Node:
+        """Exception destination given an optional local finally."""
+        if frame is not None:
+            frame.has_exc = True
+            return frame.exc_join
+        return self.exc_target()
+
+    def _with(self, stmt, frontier):
+        node = self.new("stmt", stmt)
+        self.connect(frontier, node)
+        if stmt_can_raise(stmt):
+            node.succs.append((self.exc_target(), EXC))
+        return self.stmts(stmt.body, [(node, None)])
+
+    def _match(self, stmt: ast.Match, frontier):
+        subject = self.new("stmt", stmt)
+        self.connect(frontier, subject)
+        out: list[tuple[Node, Label]] = [(subject, None)]
+        for case in stmt.cases:
+            out += self.stmts(case.body, [(subject, None)])
+        return out
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of one function definition's body."""
+    builder = _Builder(fn)
+    body = getattr(fn, "body", [])
+    out = builder.stmts(body, [(builder.cfg.entry, None)])
+    builder.connect(out, builder.cfg.exit)
+    return builder.cfg
+
+
+# -- generic forward solver -------------------------------------------------
+
+State = frozenset
+Transfer = typing.Callable[[Node, State], State]
+
+
+def solve_forward(
+    cfg: CFG,
+    init: State,
+    transfer: Transfer,
+) -> dict[Node, State]:
+    """Forward may-analysis fixpoint: returns each node's IN state.
+
+    ``transfer(node, in_state)`` produces the node's OUT state; states
+    join by union.  Termination: states only grow and the fact domain
+    (names bound in one function) is finite.
+    """
+    in_states: dict[Node, State] = {node: frozenset() for node in cfg.nodes}
+    in_states[cfg.entry] = init
+    out_cache: dict[Node, State] = {}
+    preds = cfg.preds()
+    worklist: list[Node] = list(cfg.nodes)
+    queued = set(range(len(worklist)))  # indexes, to dedupe cheaply
+    order = {node: i for i, node in enumerate(cfg.nodes)}
+    while worklist:
+        node = worklist.pop(0)
+        queued.discard(order[node])
+        if node is cfg.entry:
+            in_state = init
+        else:
+            merged: frozenset = frozenset()
+            for pred, _label in preds[node]:
+                merged |= out_cache.get(pred, frozenset())
+            in_state = merged
+        out_state = transfer(node, in_state)
+        changed = (
+            in_states[node] != in_state or out_cache.get(node) != out_state
+        )
+        in_states[node] = in_state
+        if changed:
+            out_cache[node] = out_state
+            for succ, _label in node.succs:
+                index = order[succ]
+                if index not in queued:
+                    queued.add(index)
+                    worklist.append(succ)
+    return in_states
+
+
+# -- reaching definitions ---------------------------------------------------
+
+def assigned_names(stmt: ast.AST) -> set[str]:
+    """Local names (re)bound by one statement (no nested functions)."""
+    names: set[str] = set()
+
+    def collect(node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                collect(elt)
+        elif isinstance(node, ast.Starred):
+            collect(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            collect(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                collect(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.add(stmt.name)
+    return names
+
+
+class ReachingDefinitions:
+    """Which definitions of each name can reach each statement.
+
+    A definition is identified by ``(name, lineno)`` of the binding
+    statement; ``defs_at(stmt)`` returns the set live *on entry* to
+    that statement.
+    """
+
+    def __init__(self, fn: ast.AST):
+        self.cfg = build_cfg(fn)
+
+        def transfer(node: Node, state: State) -> State:
+            if node.stmt is None:
+                return state
+            killed = assigned_names(node.stmt)
+            if not killed:
+                return state
+            lineno = getattr(node.stmt, "lineno", 0)
+            kept = frozenset(d for d in state if d[0] not in killed)
+            return kept | frozenset((name, lineno) for name in killed)
+
+        self._in = solve_forward(self.cfg, frozenset(), transfer)
+
+    def defs_at(self, stmt: ast.AST) -> set[tuple[str, int]]:
+        node = self.cfg.node_of.get(stmt)
+        if node is None:
+            return set()
+        return set(self._in[node])
+
+    def lines_of(self, stmt: ast.AST, name: str) -> set[int]:
+        """Line numbers of ``name``'s reaching definitions at ``stmt``."""
+        return {line for (n, line) in self.defs_at(stmt) if n == name}

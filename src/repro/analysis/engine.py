@@ -1,8 +1,24 @@
 """Run the registered rules over files and trees.
 
-The engine is deliberately boring: read, parse once, hand the tree to
-every enabled rule, filter findings through allowlists and inline
-suppressions, sort.  All the interesting logic lives in the rules.
+Since the whole-program upgrade the engine is a two-phase pipeline:
+
+**Phase 1 — parse everything.**  Every requested file is read and
+parsed.  A file that cannot be read or parsed is *reported* (one E999
+finding) and excluded from the project — never silently skipped: a
+broken file would otherwise punch an invisible hole in the call graph
+and in CI's self-clean guarantee.
+
+**Phase 2 — analyze.**  The parsed trees become a
+:class:`~repro.analysis.project.Project` (symbol table, call graph,
+process closure, taint summaries), then every enabled rule runs per
+file with the project attached to its :class:`FileContext`.  A
+post-pass audits inline suppressions against the raw findings (LNT001)
+before allowlists and suppressions filter the result.
+
+An optional content-hash cache (``--changed``) reuses a file's
+previous findings when neither the file, the configuration, nor the
+project's *semantic* fingerprint changed — see
+:mod:`repro.analysis.cache`.
 """
 
 from __future__ import annotations
@@ -12,16 +28,23 @@ import dataclasses
 import pathlib
 import typing
 
+from .cache import LintCache, config_fingerprint, content_hash
 from .config import LintConfig
 from .findings import PARSE_ERROR, Finding
+from .project import Project, build_project
 from .registry import RULES, FileContext
-from .suppressions import Suppressions
+from .suppressions import Suppressions, comment_directive_lines
 
 #: Directories never descended into when expanding path arguments.
 SKIP_DIRS = {
     ".git", "__pycache__", ".pytest_cache", ".ruff_cache",
     "build", "dist", ".eggs",
 }
+
+#: Code of the stale-suppression audit (the rule class itself lives in
+#: rules/lint_meta.py; the engine implements it because it needs the
+#: raw findings of the *other* rules).
+UNUSED_SUPPRESSION = "LNT001"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,6 +53,9 @@ class LintReport:
 
     findings: tuple[Finding, ...]
     files_checked: int
+    #: Files whose findings came from the incremental cache (only ever
+    #: non-zero under ``--changed``).
+    files_reused: int = 0
 
     @property
     def clean(self) -> bool:
@@ -44,6 +70,7 @@ class LintReport:
     def as_dict(self) -> dict:
         return {
             "files_checked": self.files_checked,
+            "files_reused": self.files_reused,
             "findings": [f.as_dict() for f in self.findings],
             "counts_by_code": self.counts_by_code(),
         }
@@ -60,12 +87,115 @@ def _rel_path(path: pathlib.Path, root: pathlib.Path | None) -> str:
     return path.as_posix()
 
 
+def _run_rules(ctx: FileContext) -> list[Finding]:
+    """Raw findings of every enabled rule on one file (pre-filtering)."""
+    findings: list[Finding] = []
+    for code, rule_cls in RULES.items():
+        if not ctx.config.code_enabled(code):
+            continue
+        if rule_cls.sim_only and not ctx.sim_critical:
+            continue
+        if ctx.config.allowed(code, ctx.rel_path):
+            continue
+        findings.extend(rule_cls(ctx).run())
+    return findings
+
+
+def _stale_suppressions(
+    suppressions: Suppressions,
+    source: str,
+    raw: list[Finding],
+    config: LintConfig,
+    rel_path: str,
+) -> list[Finding]:
+    """LNT001: directives that no longer suppress anything.
+
+    A directive is judged only when its code is enabled in this run
+    (under ``--select DET006`` every other code's directives would
+    otherwise look dead) and when it sits in a real comment token — a
+    docstring *describing* the disable syntax is not a directive.
+    ``all`` is never audited; it is reserved for generated files whose
+    findings are intentionally unknowable.
+    """
+    if not config.code_enabled(UNUSED_SUPPRESSION):
+        return []
+    if config.allowed(UNUSED_SUPPRESSION, rel_path):
+        return []
+    comment_lines = comment_directive_lines(source)
+    line_hits = {(f.line, f.code) for f in raw}
+    file_hits = {f.code for f in raw}
+    findings: list[Finding] = []
+    for lineno, scope, code in suppressions.directives:
+        if code == "ALL":
+            continue
+        if lineno not in comment_lines:
+            continue
+        if code not in RULES and code != PARSE_ERROR:
+            findings.append(Finding(
+                path=rel_path, line=lineno, col=1,
+                code=UNUSED_SUPPRESSION,
+                message=(
+                    f"suppression of unknown rule code {code!r}; "
+                    "check --list-rules for valid codes"
+                ),
+            ))
+            continue
+        if not config.code_enabled(code):
+            continue
+        hit = (
+            code in file_hits if scope == "file"
+            else (lineno, code) in line_hits
+        )
+        if not hit:
+            where = "in this file" if scope == "file" else "on this line"
+            findings.append(Finding(
+                path=rel_path, line=lineno, col=1,
+                code=UNUSED_SUPPRESSION,
+                message=(
+                    f"stale suppression: {code} reports nothing "
+                    f"{where} any more; remove the disable comment"
+                ),
+            ))
+    return findings
+
+
+def _lint_tree(
+    source: str,
+    rel_path: str,
+    tree: ast.Module,
+    config: LintConfig,
+    project: Project,
+) -> list[Finding]:
+    """Phase-2 analysis of one parsed file."""
+    ctx = FileContext(
+        rel_path=rel_path,
+        source=source,
+        tree=tree,
+        config=config,
+        sim_critical=config.is_sim_critical(rel_path),
+        project=project,
+    )
+    suppressions = Suppressions(source)
+    raw = _run_rules(ctx)
+    stale = _stale_suppressions(
+        suppressions, source, raw, config, rel_path
+    )
+    return sorted(
+        f for f in raw + stale if not suppressions.suppresses(f)
+    )
+
+
 def lint_source(
     source: str,
     rel_path: str,
     config: LintConfig | None = None,
+    project: Project | None = None,
 ) -> list[Finding]:
-    """Lint one in-memory source blob (the unit the rule tests use)."""
+    """Lint one in-memory source blob (the unit the rule tests use).
+
+    Without an explicit ``project`` a single-file project is built, so
+    rules can always rely on ``ctx.project``.
+    """
     config = config if config is not None else LintConfig()
     try:
         tree = ast.parse(source)
@@ -79,24 +209,9 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    ctx = FileContext(
-        rel_path=rel_path,
-        source=source,
-        tree=tree,
-        config=config,
-        sim_critical=config.is_sim_critical(rel_path),
-    )
-    suppressions = Suppressions(source)
-    findings: list[Finding] = []
-    for code, rule_cls in RULES.items():
-        if not config.code_enabled(code):
-            continue
-        if rule_cls.sim_only and not ctx.sim_critical:
-            continue
-        if config.allowed(code, rel_path):
-            continue
-        findings.extend(rule_cls(ctx).run())
-    return sorted(f for f in findings if not suppressions.suppresses(f))
+    if project is None:
+        project = build_project([(rel_path, tree)])
+    return _lint_tree(source, rel_path, tree, config, project)
 
 
 def lint_file(
@@ -133,18 +248,92 @@ def iter_python_files(
             yield entry
 
 
+class _ParsedFile(typing.NamedTuple):
+    rel_path: str
+    source: str
+    tree: ast.Module
+    digest: str
+
+
 def lint_paths(
     paths: typing.Sequence[pathlib.Path | str],
     config: LintConfig | None = None,
     root: pathlib.Path | None = None,
+    cache_path: pathlib.Path | str | None = None,
+    changed_only: bool = False,
 ) -> LintReport:
-    """Lint every python file under ``paths``; the CLI's workhorse."""
+    """Lint every python file under ``paths``; the CLI's workhorse.
+
+    ``cache_path`` enables the incremental cache; ``changed_only``
+    additionally *reuses* cached findings for clean files (without it
+    the cache is only written, priming a later ``--changed`` run).
+    """
     if root is None:
         root = pathlib.Path.cwd()
+    config = config if config is not None else LintConfig()
+
+    # Phase 1: read + parse everything.  Failures become findings and
+    # the file is simply absent from the project.
+    parsed: list[_ParsedFile] = []
     findings: list[Finding] = []
     files_checked = 0
     for path in iter_python_files(paths):
         files_checked += 1
-        findings.extend(lint_file(path, config, root=root))
-    return LintReport(findings=tuple(sorted(findings)),
-                      files_checked=files_checked)
+        rel = _rel_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(Finding(
+                path=rel, line=1, col=1, code=PARSE_ERROR,
+                message=f"cannot read file: {exc}",
+            ))
+            continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=PARSE_ERROR,
+                message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        parsed.append(_ParsedFile(rel, source, tree, content_hash(source)))
+
+    # Phase 2: whole-program view, then per-file rules (or the cache).
+    project = build_project([(f.rel_path, f.tree) for f in parsed])
+    cache: LintCache | None = None
+    config_fp = project_fp = ""
+    if cache_path is not None:
+        cache = LintCache.load(cache_path)
+        config_fp = config_fingerprint(config, RULES.keys())
+        project_fp = project.fingerprint()
+
+    files_reused = 0
+    for file in parsed:
+        cached = None
+        if cache is not None and changed_only:
+            cached = cache.lookup(
+                file.rel_path, file.digest, config_fp, project_fp
+            )
+        if cached is not None:
+            files_reused += 1
+            file_findings = cached
+        else:
+            file_findings = _lint_tree(
+                file.source, file.rel_path, file.tree, config, project
+            )
+        if cache is not None:
+            cache.store(file.rel_path, file.digest, file_findings)
+        findings.extend(file_findings)
+
+    if cache is not None:
+        cache.save(
+            config_fp, project_fp, {f.rel_path for f in parsed}
+        )
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_checked=files_checked,
+        files_reused=files_reused,
+    )

@@ -31,6 +31,9 @@ import typing
 from .config import LintConfig
 from .findings import Finding
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .project import ModuleInfo, Project
+
 FunctionNode = typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 
@@ -45,6 +48,19 @@ class FileContext:
     config: LintConfig
     #: True when the file lives in a sim-critical ``repro`` sub-package.
     sim_critical: bool
+    #: Whole-program view (symbol table, call graph, process closure,
+    #: taint summaries).  Always set by the engine; the per-file entry
+    #: points build a single-file project so rules can rely on it.
+    project: "Project | None" = None
+
+    @property
+    def module(self) -> "ModuleInfo | None":
+        """This file's module inside :attr:`project`, if it parsed."""
+        if self.project is None:
+            return None
+        from .project import module_name_of
+
+        return self.project.modules.get(module_name_of(self.rel_path))
 
 
 class Rule(ast.NodeVisitor):

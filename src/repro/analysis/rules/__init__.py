@@ -4,6 +4,20 @@ Importing this package registers every rule; add a new family by
 creating a module here and importing it below.
 """
 
-from . import determinism, errors, observability, simulation
+from . import (
+    determinism,
+    errors,
+    lint_meta,
+    observability,
+    simulation,
+    taint,
+)
 
-__all__ = ["determinism", "errors", "observability", "simulation"]
+__all__ = [
+    "determinism",
+    "errors",
+    "lint_meta",
+    "observability",
+    "simulation",
+    "taint",
+]

@@ -1,0 +1,32 @@
+"""LNT rules: the linter auditing its own annotations.
+
+LNT001  stale ``# simlint: disable=CODE`` comments
+
+A suppression that no longer suppresses anything is a trap: the next
+reader assumes the hazard is still there and codes around it, or the
+comment drifts onto a line where it silently masks a *new* finding.
+The check itself runs inside the engine's post-pass (it needs the raw
+findings of every other rule on the same file — a plain visitor never
+sees those), so the class below carries only the metadata that
+``--list-rules``, configuration, and the docs tables key on.
+"""
+
+from __future__ import annotations
+
+from ..registry import Rule, register_rule
+
+
+@register_rule
+class UnusedSuppressionRule(Rule):
+    """LNT001: flag disables that stopped suppressing findings."""
+
+    code = "LNT001"
+    name = "no-stale-suppressions"
+    rationale = (
+        "a '# simlint: disable=CODE' comment that suppresses nothing "
+        "misleads readers and can silently mask future findings; "
+        "remove it once the violation is gone"
+    )
+
+    def run(self):  # engine post-pass implements the check
+        return self.findings

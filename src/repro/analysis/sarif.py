@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 export of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub's
+code-scanning upload action consumes: one ``run`` with a ``tool``
+driver describing the rules and one ``result`` per finding.  CI
+uploads the file and the findings appear as inline annotations on the
+pull request — the reviewer sees ``SIM004 cache-space reservation …``
+on the offending line instead of digging through job logs.
+
+Only the slice of the (large) SARIF schema that GitHub actually reads
+is emitted: driver name/version, rule metadata (id, short
+description, help text), and per-result ruleId / message / physical
+location.  Everything is plain ``dict``/``list`` so the export stays
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from .findings import PARSE_ERROR, Finding
+from .registry import RULES
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .engine import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Reported as the SARIF tool identity.
+TOOL_NAME = "simlint"
+TOOL_VERSION = "1.0"
+
+
+def _rule_descriptors(codes: typing.Iterable[str]) -> list[dict]:
+    """One ``reportingDescriptor`` per rule code used in the run."""
+    descriptors: list[dict] = []
+    for code in sorted(set(codes)):
+        rule = RULES.get(code)
+        if rule is not None:
+            name = rule.name
+            help_text = rule.rationale
+        elif code == PARSE_ERROR:
+            name = "parse-error"
+            help_text = (
+                "the file could not be read or parsed; a broken file "
+                "would otherwise be silently absent from the analysis"
+            )
+        else:  # pragma: no cover - future pseudo-codes
+            name = code.lower()
+            help_text = code
+        descriptors.append({
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": name},
+            "help": {"text": help_text},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col,
+                },
+            },
+        }],
+    }
+
+
+def report_to_sarif(report: "LintReport") -> dict:
+    """The SARIF log object for one lint run."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "rules": _rule_descriptors(
+                        f.code for f in report.findings
+                    ),
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": [_result(f) for f in report.findings],
+        }],
+    }
+
+
+def dump_sarif(report: "LintReport", stream: typing.TextIO) -> None:
+    json.dump(report_to_sarif(report), stream, indent=2, sort_keys=True)
+    stream.write("\n")

@@ -18,7 +18,9 @@ helper and keeps the scanner trivially fast.
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 
 from .findings import Finding
 
@@ -36,6 +38,10 @@ class Suppressions:
         self.by_line: dict[int, set[str]] = {}
         #: codes disabled for the entire file ("all" disables any code).
         self.file_wide: set[str] = set()
+        #: every parsed directive as ``(lineno, scope, code)`` with
+        #: scope "line" or "file" — the raw material for LNT001's
+        #: stale-suppression audit.
+        self.directives: list[tuple[int, str, str]] = []
         for lineno, line in enumerate(source.splitlines(), start=1):
             if "simlint" not in line:
                 continue
@@ -49,10 +55,43 @@ class Suppressions:
             }
             if match.group("scope") == "disable-file":
                 self.file_wide |= codes
+                scope = "file"
             else:
                 self.by_line.setdefault(lineno, set()).update(codes)
+                scope = "line"
+            for code in sorted(codes):
+                self.directives.append((lineno, scope, code))
 
     def suppresses(self, finding: Finding) -> bool:
         if "ALL" in self.file_wide or finding.code in self.file_wide:
             return True
         return finding.code in self.by_line.get(finding.line, set())
+
+
+def comment_directive_lines(source: str) -> set[int]:
+    """Line numbers whose directive sits in a *real* comment token.
+
+    The textual scan above deliberately over-matches (a directive
+    spelled inside a string still suppresses — harmless).  The LNT001
+    stale-suppression audit needs the opposite polarity: flagging a
+    docstring that merely *documents* ``# simlint: disable=CODE``
+    would be absurd, so staleness is only judged for directives that
+    tokenize as comments.  Falls back to "every line" when the source
+    does not tokenize (it parsed, so this should not happen).
+    """
+    lines: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ):
+            if token.type == tokenize.COMMENT and _DISABLE.search(
+                token.string
+            ):
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError):
+        return {
+            lineno
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if _DISABLE.search(line)
+        }
+    return lines

@@ -304,9 +304,12 @@ class Rebuilder:
                     c_handle, allocation.c_offset, seg_size,
                     priority=PRIORITY_LOW, ctx=ctx,
                 )
-            except ProcessKilled:
-                # Killed mid-movement (finalize/recovery): hand the
-                # reserved space back so accounting stays exact.
+            except BaseException:
+                # Any unwind mid-movement — a kill at the yield point
+                # (finalize/recovery) or an unexpected error — must
+                # hand the reserved space back so accounting stays
+                # exact.  Catching only ProcessKilled here once left a
+                # leak window for other exceptions (found by SIM004).
                 self.space.release(
                     allocation.c_file, allocation.c_offset, allocation.length
                 )

@@ -1,0 +1,114 @@
+"""Incremental engine cache: --changed reruns only dirty files."""
+
+import json
+
+from repro.analysis import LintConfig
+from repro.analysis.cache import LintCache
+from repro.analysis.engine import lint_paths
+
+CLEAN = "def f(sim):\n    return sim.now\n"
+CLEAN_B = "def g(sim):\n    return sim.now + 1\n"
+DIRTY = "import time\n\ndef f():\n    return time.time()\n"
+
+
+def _tree(tmp_path, files):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for name, source in files.items():
+        (pkg / name).write_text(source)
+    return pkg
+
+
+def _run(tmp_path, config=None):
+    return lint_paths(
+        [tmp_path / "src"],
+        config if config is not None else LintConfig(),
+        root=tmp_path,
+        cache_path=tmp_path / ".simlint_cache.json",
+        changed_only=True,
+    )
+
+
+def test_second_run_reuses_everything(tmp_path):
+    _tree(tmp_path, {"a.py": CLEAN, "b.py": CLEAN_B})
+    first = _run(tmp_path)
+    assert first.files_reused == 0
+    second = _run(tmp_path)
+    assert second.files_reused == 2
+    assert second.findings == first.findings
+
+
+def test_editing_one_file_reruns_only_that_file(tmp_path):
+    pkg = _tree(tmp_path, {"a.py": CLEAN, "b.py": CLEAN_B})
+    _run(tmp_path)
+    # Rewrite a.py with different *comment-free* clean code whose
+    # summaries match (same name, still untainted): b.py stays cached,
+    # a.py is content-dirty and reruns.
+    (pkg / "a.py").write_text("def f(sim):\n    now = sim.now\n    return now\n")
+    report = _run(tmp_path)
+    assert report.files_reused == 1
+    assert report.files_checked == 2
+
+
+def test_findings_are_reproduced_from_cache(tmp_path):
+    _tree(tmp_path, {"bad.py": DIRTY})
+    first = _run(tmp_path)
+    assert [f.code for f in first.findings] == ["DET001"]
+    second = _run(tmp_path)
+    assert second.files_reused == 1
+    assert second.findings == first.findings
+
+
+def test_comment_edit_does_not_dirty_other_files(tmp_path):
+    pkg = _tree(tmp_path, {"a.py": CLEAN, "b.py": CLEAN_B})
+    _run(tmp_path)
+    # A comment-only edit changes a's content hash but not the
+    # project's semantic fingerprint: b must stay cached.
+    (pkg / "a.py").write_text(CLEAN + "# trailing comment\n")
+    report = _run(tmp_path)
+    assert report.files_reused == 1
+
+
+def test_semantic_edit_invalidates_dependents(tmp_path):
+    pkg = _tree(tmp_path, {"a.py": CLEAN, "b.py": CLEAN_B})
+    _run(tmp_path)
+    # Turning a's function into a taint source flips the project
+    # fingerprint: nothing may be reused.
+    (pkg / "a.py").write_text(
+        "import time\n\ndef f(sim):\n    return time.time()\n"
+    )
+    report = _run(tmp_path)
+    assert report.files_reused == 0
+
+
+def test_config_change_invalidates_cache(tmp_path):
+    _tree(tmp_path, {"a.py": CLEAN})
+    _run(tmp_path)
+    report = _run(tmp_path, config=LintConfig(ignore=frozenset({"DET001"})))
+    assert report.files_reused == 0
+
+
+def test_without_changed_flag_cache_is_written_not_read(tmp_path):
+    _tree(tmp_path, {"a.py": CLEAN})
+    for _ in range(2):
+        report = lint_paths(
+            [tmp_path / "src"], LintConfig(), root=tmp_path,
+            cache_path=tmp_path / ".simlint_cache.json",
+            changed_only=False,
+        )
+        assert report.files_reused == 0  # priming runs never reuse
+
+
+def test_corrupt_cache_is_tolerated(tmp_path):
+    _tree(tmp_path, {"a.py": CLEAN})
+    cache_file = tmp_path / ".simlint_cache.json"
+    cache_file.write_text("{not json")
+    report = _run(tmp_path)
+    assert report.files_checked == 1
+    # ...and the run rewrote a valid cache.
+    assert json.loads(cache_file.read_text())
+
+
+def test_cache_load_missing_file(tmp_path):
+    cache = LintCache.load(tmp_path / "absent.json")
+    assert cache.lookup("x.py", "h", "c", "p") is None

@@ -1,0 +1,154 @@
+"""Satellite coverage: config allowlists × new codes, suppressions."""
+
+from repro.analysis import LintConfig
+from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.findings import PARSE_ERROR
+from repro.analysis.suppressions import (
+    Suppressions,
+    comment_directive_lines,
+)
+
+from .util import codes, lint_snippet
+
+LEAKY = """
+def fetch(self, entry):
+    allocation = self.space.find_free_space(entry.d_file, 8)
+    yield from self.client.write(allocation.c_offset, 8)
+"""
+
+
+# -- suppressions parsing -----------------------------------------------------
+
+def test_multi_code_disable_on_one_line():
+    sup = Suppressions(
+        "x = f()  # simlint: disable=DET006, SIM004,sim005\n"
+    )
+    assert sup.by_line == {1: {"DET006", "SIM004", "SIM005"}}
+    assert sup.directives == [
+        (1, "line", "DET006"), (1, "line", "SIM004"), (1, "line", "SIM005"),
+    ]
+
+
+def test_file_and_line_scopes_record_separately():
+    sup = Suppressions(
+        "# simlint: disable-file=SIM004\n"
+        "y = g()  # simlint: disable=DET006\n"
+    )
+    assert sup.file_wide == {"SIM004"}
+    assert sup.by_line == {2: {"DET006"}}
+    assert (1, "file", "SIM004") in sup.directives
+    assert (2, "line", "DET006") in sup.directives
+
+
+def test_comment_directive_lines_excludes_strings():
+    source = (
+        'DOC = "the syntax is # simlint: disable=DET001"\n'
+        "x = 1  # simlint: disable=DET002\n"
+    )
+    assert comment_directive_lines(source) == {2}
+
+
+def test_comment_directive_lines_tokenize_fallback():
+    # Untokenizable text (unterminated string) falls back to the
+    # textual scan instead of raising.
+    source = "# simlint: disable=DET001\nx = '\n"
+    assert 1 in comment_directive_lines(source)
+
+
+def test_inline_disable_silences_new_rules():
+    findings = lint_snippet(
+        LEAKY.replace(
+            "allocation = self.space.find_free_space(entry.d_file, 8)",
+            "allocation = self.space.find_free_space(entry.d_file, 8)"
+            "  # simlint: disable=SIM004",
+        ),
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert "SIM004" not in codes(findings)
+
+
+# -- allowlists × new rule codes ----------------------------------------------
+
+def test_allowlist_exempts_sim004_per_path():
+    config = LintConfig(
+        allow={"SIM004": ("*/core/legacy_*.py",)},
+    )
+    exempt = lint_source(
+        LEAKY, "src/repro/core/legacy_mover.py", config
+    )
+    assert "SIM004" not in codes(exempt)
+    covered = lint_source(
+        LEAKY, "src/repro/core/mover.py", config
+    )
+    assert "SIM004" in codes(covered)
+
+
+def test_allowlist_for_one_code_leaves_others_active():
+    source = (
+        "import time\n"
+        "\n"
+        "def pace(sim):\n"
+        "    delay = time.perf_counter()\n"
+        "    yield sim.timeout(delay)\n"
+    )
+    config = LintConfig(allow={"DET001": ("*",)})
+    findings = lint_source(source, "src/repro/sim/pace.py", config)
+    assert "DET001" not in codes(findings)
+    assert "DET006" in codes(findings)
+
+
+def test_unknown_code_in_selection_is_harmless():
+    findings = lint_snippet(
+        LEAKY,
+        rel_path="src/repro/core/snippet.py",
+        config=LintConfig(select=frozenset({"SIM004", "ZZZ999"})),
+    )
+    assert codes(findings) == ["SIM004"]
+
+
+# -- engine error reporting (never skip silently) -----------------------------
+
+def test_lint_paths_reports_syntax_error_and_keeps_going(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "broken.py").write_text("def broken(:\n")
+    (pkg / "dirty.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert report.files_checked == 2
+    by_code = report.counts_by_code()
+    assert by_code[PARSE_ERROR] == 1
+    assert by_code["DET001"] == 1
+    e999 = [f for f in report.findings if f.code == PARSE_ERROR][0]
+    assert e999.path == "src/repro/sim/broken.py"
+    assert "syntax error" in e999.message
+
+
+def test_lint_paths_reports_unreadable_file(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "binary.py").write_bytes(b"\xff\xfe\x00garbage\x80")
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert report.files_checked == 1
+    (finding,) = report.findings
+    assert finding.code == PARSE_ERROR
+    assert "cannot read file" in finding.message
+
+
+def test_unparseable_file_is_excluded_from_project(tmp_path):
+    """The broken file is reported but must not poison the analysis of
+    its intact siblings."""
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "broken.py").write_text("class Oops(:\n")
+    (pkg / "worker.py").write_text(
+        "class Worker:\n"
+        "    def start(self, sim):\n"
+        "        sim.spawn(self.run(), name='w')\n"
+        "\n"
+        "    def run(self):\n"
+        "        yield 0.5\n"
+    )
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert sorted(codes(report.findings)) == [PARSE_ERROR, "SIM005"]

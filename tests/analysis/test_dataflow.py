@@ -1,0 +1,283 @@
+"""CFG construction and reaching definitions (analysis.dataflow)."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    EXC,
+    ReachingDefinitions,
+    assigned_names,
+    build_cfg,
+    stmt_can_raise,
+    yields_in_own_scope,
+)
+
+
+def _fn(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    assert isinstance(tree.body[0], (ast.FunctionDef, ast.AsyncFunctionDef))
+    return tree.body[0]
+
+
+def _stmt_at(fn: ast.AST, lineno: int) -> ast.stmt:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.stmt) and getattr(
+            node, "lineno", None
+        ) == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+def _reachable(cfg, start, *, follow_exc=True):
+    """Set of nodes reachable from ``start`` along succ edges."""
+    seen = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for succ, label in node.succs:
+            if label == EXC and not follow_exc:
+                continue
+            stack.append(succ)
+    return seen
+
+
+# -- which statements get exception edges ------------------------------------
+
+def test_only_yields_and_raises_can_raise():
+    fn = _fn(
+        """
+        def f(client):
+            a = client.prepare()
+            yield client.read()
+            raise RuntimeError(a)
+        """
+    )
+    assign, yield_stmt, raise_stmt = fn.body
+    assert not stmt_can_raise(assign)
+    assert stmt_can_raise(yield_stmt)
+    assert stmt_can_raise(raise_stmt)
+
+
+def test_yield_inside_nested_def_does_not_count():
+    fn = _fn(
+        """
+        def f(items):
+            gens = [g() for g in items]
+            def inner():
+                yield 1
+            return inner
+        """
+    )
+    # f itself is not a generator: inner's yield is a different scope.
+    assert not yields_in_own_scope(fn)
+    assert not stmt_can_raise(fn.body[0])
+
+
+# -- structural edges ---------------------------------------------------------
+
+def test_while_true_has_no_fall_through():
+    fn = _fn(
+        """
+        def run(sim):
+            while True:
+                yield sim.timeout(1)
+            print("never")
+        """
+    )
+    cfg = build_cfg(fn)
+    unreachable = _stmt_at(fn, 5)
+    reached = _reachable(cfg, cfg.entry)
+    assert cfg.node_of[unreachable] not in reached
+    # ...but the kill path (exception at the yield) exits the function.
+    assert cfg.raise_exit in reached
+
+
+def test_if_none_edges_are_labelled():
+    fn = _fn(
+        """
+        def f(space):
+            allocation = space.find_free_space()
+            if allocation is None:
+                return False
+            return allocation
+        """
+    )
+    cfg = build_cfg(fn)
+    test_node = cfg.node_of[_stmt_at(fn, 4)]
+    labels = {label for _succ, label in test_node.succs}
+    assert ("isnone", "allocation") in labels
+    assert ("notnone", "allocation") in labels
+
+
+def test_exception_at_yield_reaches_handler_then_continuation():
+    fn = _fn(
+        """
+        def f(client):
+            try:
+                yield client.read()
+            except ValueError:
+                recovered = True
+            done = True
+        """
+    )
+    cfg = build_cfg(fn)
+    yield_node = cfg.node_of[_stmt_at(fn, 4)]
+    handler_body = cfg.node_of[_stmt_at(fn, 6)]
+    after = cfg.node_of[_stmt_at(fn, 7)]
+    reached = _reachable(cfg, yield_node)
+    assert handler_body in reached
+    assert after in reached
+    # The narrow handler does not catch everything: the raise exit
+    # stays reachable through the unmatched-dispatch edge.
+    assert cfg.raise_exit in reached
+
+
+def test_broad_handler_blocks_raise_exit():
+    fn = _fn(
+        """
+        def f(client):
+            try:
+                yield client.read()
+            except BaseException:
+                recovered = True
+            done = True
+        """
+    )
+    cfg = build_cfg(fn)
+    assert cfg.raise_exit not in _reachable(cfg, cfg.entry)
+
+
+# -- finally duplication per entrant class ------------------------------------
+
+def test_finally_normal_path_keeps_no_exception_edge():
+    """The regression behind the Rebuilder false positive: the normal
+    path through a finally must not inherit the exceptional
+    continuation added for a handler's re-raise."""
+    fn = _fn(
+        """
+        def f(client, ctx):
+            try:
+                yield client.read()
+            except BaseException:
+                client.release()
+                raise
+            finally:
+                ctx.finish()
+            published = True
+        """
+    )
+    cfg = build_cfg(fn)
+    yield_node = cfg.node_of[_stmt_at(fn, 4)]
+    release = cfg.node_of[_stmt_at(fn, 6)]
+    published = cfg.node_of[_stmt_at(fn, 10)]
+
+    # Normal continuation: yield -> finally copy -> published, with the
+    # raise exit unreachable unless exceptional edges are followed.
+    normal = _reachable(cfg, yield_node, follow_exc=False)
+    assert published in normal
+    assert cfg.raise_exit not in normal
+
+    # The exceptional path goes through the handler (release) before
+    # any route to the raise exit.
+    exceptional = _reachable(cfg, yield_node) - normal
+    assert cfg.raise_exit in _reachable(cfg, release)
+    assert any(n.stmt is release.stmt for n in exceptional | {release})
+
+
+def test_finally_return_path_reaches_exit_not_raise():
+    fn = _fn(
+        """
+        def f(client, ctx):
+            try:
+                yield client.read()
+                return True
+            finally:
+                ctx.finish()
+        """
+    )
+    cfg = build_cfg(fn)
+    ret = cfg.node_of[_stmt_at(fn, 5)]
+    reached = _reachable(cfg, ret, follow_exc=False)
+    assert cfg.exit in reached
+    assert cfg.raise_exit not in reached
+
+
+def test_finally_body_built_once_per_entrant_class():
+    fn = _fn(
+        """
+        def f(client, ctx):
+            try:
+                yield client.read()
+                return True
+            finally:
+                ctx.finish()
+        """
+    )
+    cfg = build_cfg(fn)
+    finish = _stmt_at(fn, 7)
+    copies = [
+        n for n in cfg.nodes if n.kind == "stmt" and n.stmt is finish
+    ]
+    # Exceptional + return entrants exist; no normal fall-through
+    # (every body path returns), so exactly two copies.
+    assert len(copies) == 2
+    # node_of keeps exactly one canonical copy.
+    assert cfg.node_of[finish] in copies
+
+
+# -- reaching definitions -----------------------------------------------------
+
+def test_reaching_definitions_join_over_branches():
+    fn = _fn(
+        """
+        def f(flag):
+            x = 1
+            if flag:
+                x = 2
+            sink = x
+        """
+    )
+    rd = ReachingDefinitions(fn)
+    sink = _stmt_at(fn, 6)
+    assert rd.lines_of(sink, "x") == {3, 5}
+
+
+def test_reaching_definitions_through_finally():
+    fn = _fn(
+        """
+        def f(client):
+            a = 1
+            try:
+                a = 2
+                yield client.read()
+            finally:
+                b = a
+            c = b
+        """
+    )
+    rd = ReachingDefinitions(fn)
+    last = _stmt_at(fn, 9)
+    # Only the rebind reaches the finally: plain assigns cannot raise
+    # in this model, so no path enters the finally between the two
+    # definitions of ``a``.
+    bind_b = _stmt_at(fn, 8)
+    assert rd.lines_of(bind_b, "a") == {5}
+    # b's binding in the finally reaches the continuation.
+    assert rd.lines_of(last, "b") == {8}
+
+
+def test_assigned_names_forms():
+    forms = {
+        "x = 1": {"x"},
+        "x, (y, z) = value": {"x", "y", "z"},
+        "x += 1": {"x"},
+        "x: int = 1": {"x"},
+        "for i, j in pairs:\n    pass": {"i", "j"},
+        "with open(p) as fh:\n    pass": {"fh"},
+    }
+    for source, expected in forms.items():
+        stmt = ast.parse(source).body[0]
+        assert assigned_names(stmt) == expected, source

@@ -1,0 +1,113 @@
+"""LNT001: inline suppressions that no longer suppress anything."""
+
+from repro.analysis import LintConfig
+
+from .util import codes, lint_snippet
+
+
+def _lnt001(findings):
+    return [f for f in findings if f.code == "LNT001"]
+
+
+def test_live_suppression_is_not_flagged():
+    findings = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # simlint: disable=DET001
+        """
+    )
+    assert findings == []
+
+
+def test_stale_line_suppression_is_flagged():
+    findings = lint_snippet(
+        """
+        def stamp(sim):
+            return sim.now  # simlint: disable=DET001
+        """
+    )
+    hits = _lnt001(findings)
+    assert len(hits) == 1
+    assert "stale suppression: DET001" in hits[0].message
+    assert "on this line" in hits[0].message
+
+
+def test_stale_file_wide_suppression_is_flagged():
+    findings = lint_snippet(
+        """
+        # simlint: disable-file=DET002
+
+        def clean(sim):
+            return sim.now
+        """
+    )
+    hits = _lnt001(findings)
+    assert len(hits) == 1
+    assert "in this file" in hits[0].message
+
+
+def test_unknown_code_gets_its_own_message():
+    findings = lint_snippet(
+        """
+        def f(sim):
+            return sim.now  # simlint: disable=DET999
+        """
+    )
+    hits = _lnt001(findings)
+    assert len(hits) == 1
+    assert "unknown rule code 'DET999'" in hits[0].message
+
+
+def test_docstring_mention_is_not_a_directive():
+    findings = lint_snippet(
+        '''
+        def helper():
+            """Suppress findings with ``# simlint: disable=DET001``."""
+            return 1
+        '''
+    )
+    assert _lnt001(findings) == []
+
+
+def test_disable_all_is_never_audited():
+    findings = lint_snippet(
+        """
+        # simlint: disable-file=all
+
+        def clean(sim):
+            return sim.now
+        """
+    )
+    assert findings == []
+
+
+def test_directive_for_deselected_code_is_not_judged():
+    # Under --select DET006, a DET001 directive cannot prove itself
+    # live; it must not be reported as stale.
+    findings = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # simlint: disable=DET001
+        """,
+        config=LintConfig(select=frozenset({"DET006", "LNT001"})),
+    )
+    assert findings == []
+
+
+def test_multi_code_directive_reports_only_the_stale_code():
+    findings = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # simlint: disable=DET001,DET002
+        """
+    )
+    hits = _lnt001(findings)
+    assert len(hits) == 1
+    assert "DET002" in hits[0].message
+    assert "DET001" not in hits[0].message

@@ -1,0 +1,115 @@
+"""SARIF export: the slice GitHub code-scanning consumes."""
+
+import json
+
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import dump_sarif, report_to_sarif
+
+
+def _report():
+    return LintReport(
+        findings=(
+            Finding(
+                path="src/repro/sim/core.py", line=10, col=5,
+                code="DET006",
+                message="host-dependent value 'delay' flows into a sink",
+            ),
+            Finding(
+                path="src/repro/core/space.py", line=3, col=1,
+                code="SIM004", message="reservation can leak",
+            ),
+        ),
+        files_checked=2,
+    )
+
+
+def test_sarif_structure():
+    log = report_to_sarif(_report())
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    assert len(run["results"]) == 2
+
+
+def test_sarif_rule_descriptors_cover_reported_codes():
+    (run,) = report_to_sarif(_report())["runs"]
+    rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+    assert set(rules) == {"DET006", "SIM004"}
+    assert rules["DET006"]["name"] == "no-tainted-sim-inputs"
+    assert rules["SIM004"]["help"]["text"]
+
+
+def test_sarif_result_location():
+    (run,) = report_to_sarif(_report())["runs"]
+    result = run["results"][0]
+    assert result["ruleId"] == "DET006"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/sim/core.py"
+    assert location["region"]["startLine"] == 10
+    assert location["region"]["startColumn"] == 5
+
+
+def test_parse_error_descriptor():
+    report = LintReport(
+        findings=(
+            Finding(path="x.py", line=1, col=1, code="E999",
+                    message="syntax error: bad"),
+        ),
+        files_checked=1,
+    )
+    (run,) = report_to_sarif(report)["runs"]
+    (rule,) = run["tool"]["driver"]["rules"]
+    assert rule["id"] == "E999"
+    assert rule["name"] == "parse-error"
+
+
+def test_clean_report_has_empty_results():
+    log = report_to_sarif(LintReport(findings=(), files_checked=5))
+    (run,) = log["runs"]
+    assert run["results"] == []
+    assert run["tool"]["driver"]["rules"] == []
+
+
+def test_dump_sarif_is_valid_deterministic_json(tmp_path):
+    out = tmp_path / "log.sarif"
+    with out.open("w") as fh:
+        dump_sarif(_report(), fh)
+    first = out.read_text()
+    assert json.loads(first)["runs"]
+    with out.open("w") as fh:
+        dump_sarif(_report(), fh)
+    assert out.read_text() == first
+
+
+def test_cli_sarif_out_writes_file_alongside_text(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    sarif_path = tmp_path / "simlint.sarif"
+    code = cli_main([
+        str(tmp_path / "src"), "--root", str(tmp_path),
+        "--sarif-out", str(sarif_path),
+    ])
+    assert code == 1
+    log = json.loads(sarif_path.read_text())
+    (run,) = log["runs"]
+    assert [r["ruleId"] for r in run["results"]] == ["DET001"]
+    # Text output still went to stdout.
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_cli_format_sarif(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text("def f(sim):\n    return sim.now\n")
+    code = cli_main([
+        str(tmp_path / "src"), "--root", str(tmp_path),
+        "--format", "sarif",
+    ])
+    assert code == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"

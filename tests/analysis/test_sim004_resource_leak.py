@@ -1,0 +1,238 @@
+"""SIM004: path-sensitive reservation/registration leak detection."""
+
+from .util import codes, lint_snippet
+
+
+def _sim004(findings):
+    return [f for f in findings if f.code == "SIM004"]
+
+
+# -- reservation leaks: true positives ----------------------------------------
+
+def test_reservation_with_no_release_leaks():
+    findings = lint_snippet(
+        """
+        def fetch(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            yield from self.client.write(allocation.c_offset, 8)
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    hits = _sim004(findings)
+    assert len(hits) == 1
+    assert "'allocation'" in hits[0].message
+
+
+def test_narrow_handler_leaves_leak_window():
+    """The original Rebuilder bug shape: only ProcessKilled releases;
+    any other exception at the yield escapes holding the space."""
+    findings = lint_snippet(
+        """
+        from ..errors import ProcessKilled
+
+        def fetch(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            if allocation is None:
+                return False
+            try:
+                yield from self.client.write(allocation.c_offset, 8)
+            except ProcessKilled:
+                self.space.release(allocation.c_file,
+                                   allocation.c_offset, allocation.length)
+                raise
+            finally:
+                self.ctx.finish()
+            self.dmt.add(c_offset=allocation.c_offset)
+            return True
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert len(_sim004(findings)) == 1
+
+
+def test_return_through_finally_without_release_leaks():
+    findings = lint_snippet(
+        """
+        def fetch(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            if allocation is None:
+                return False
+            try:
+                yield from self.client.write(allocation.c_offset, 8)
+                return True
+            finally:
+                self.ctx.finish()
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert len(_sim004(findings)) == 1
+    assert "return" in _sim004(findings)[0].message
+
+
+# -- reservation leaks: false positives ---------------------------------------
+
+def test_broad_handler_release_then_publish_is_clean():
+    """The fixed Rebuilder shape: every unwind releases in the handler,
+    the clean path publishes to the DMT."""
+    findings = lint_snippet(
+        """
+        def fetch(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            if allocation is None:
+                return False
+            try:
+                yield from self.client.write(allocation.c_offset, 8)
+            except BaseException:
+                self.space.release(allocation.c_file,
+                                   allocation.c_offset, allocation.length)
+                raise
+            finally:
+                self.ctx.finish()
+            self.dmt.add(c_offset=allocation.c_offset)
+            return True
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert _sim004(findings) == []
+
+
+def test_release_in_finally_is_clean():
+    findings = lint_snippet(
+        """
+        def probe(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            try:
+                yield from self.client.write(allocation.c_offset, 8)
+            finally:
+                self.space.release(allocation.c_file,
+                                   allocation.c_offset, allocation.length)
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert _sim004(findings) == []
+
+
+def test_is_none_failure_path_is_pruned():
+    """On the ``allocation is None`` edge nothing is held: the early
+    return must not count as a leak."""
+    findings = lint_snippet(
+        """
+        def fetch(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            if allocation is None:
+                return False
+            self.dmt.add(c_offset=allocation.c_offset)
+            return True
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert _sim004(findings) == []
+
+
+def test_returning_the_allocation_transfers_ownership():
+    findings = lint_snippet(
+        """
+        def reserve(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            return allocation
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert _sim004(findings) == []
+
+
+def test_non_sim_path_is_exempt():
+    findings = lint_snippet(
+        """
+        def fetch(self, entry):
+            allocation = self.space.find_free_space(entry.d_file, 8)
+            yield from self.client.write(allocation.c_offset, 8)
+        """,
+        rel_path="src/repro/workloads/snippet.py",
+    )
+    assert _sim004(findings) == []
+
+
+# -- in-flight registration discipline (the PR 7 zombie-movement bug) ---------
+
+def test_overwriting_active_batch_is_flagged():
+    """Deliberate re-introduction of the PR 7 bug: assigning the batch
+    list hides a concurrent runner's movements from the kill sweep in
+    ``stop()``, leaving zombie movers that corrupt rebuilt state."""
+    findings = lint_snippet(
+        """
+        class Rebuilder:
+            def __init__(self):
+                self._active_batch = []
+
+            def _run_batch(self, action, items):
+                procs = [self.sim.spawn(action(i)) for i in items]
+                self._active_batch = procs
+                try:
+                    yield self.sim.all_of(procs)
+                finally:
+                    self._active_batch = []
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    hits = _sim004(findings)
+    assert len(hits) >= 1
+    assert any("_active_batch" in h.message for h in hits)
+    # __init__'s initial definition is sanctioned: both reports are in
+    # _run_batch, none on line 4.
+    assert all(h.line > 4 for h in hits)
+
+
+def test_additive_registration_with_finally_sweep_is_clean():
+    """The fixed shape: extend + finally-deregistration."""
+    findings = lint_snippet(
+        """
+        class Rebuilder:
+            def __init__(self):
+                self._active_batch = []
+
+            def _run_batch(self, action, items):
+                procs = [self.sim.spawn(action(i)) for i in items]
+                self._active_batch.extend(procs)
+                try:
+                    yield self.sim.all_of(procs)
+                finally:
+                    for proc in procs:
+                        self._active_batch.remove(proc)
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert _sim004(findings) == []
+
+
+def test_registration_without_finally_sweep_is_flagged():
+    findings = lint_snippet(
+        """
+        class Rebuilder:
+            def _run_batch(self, action, items):
+                procs = [self.sim.spawn(action(i)) for i in items]
+                self._active_batch.extend(procs)
+                yield self.sim.all_of(procs)
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    hits = _sim004(findings)
+    assert len(hits) == 1
+    assert "finally" in hits[0].message
+
+
+def test_swap_idiom_and_counter_reset_are_exempt():
+    findings = lint_snippet(
+        """
+        class Rebuilder:
+            def stop(self):
+                batch, self._active_batch = self._active_batch, []
+                for proc in batch:
+                    proc.kill("finalize")
+
+            def reset_stats(self):
+                self._batch_count = 0
+        """,
+        rel_path="src/repro/core/snippet.py",
+    )
+    assert _sim004(findings) == []

@@ -1,0 +1,189 @@
+"""SIM005: generator processes must speak the engine's event protocol."""
+
+from .util import codes, lint_snippet
+
+
+def _sim005(findings):
+    return [f for f in findings if f.code == "SIM005"]
+
+
+# -- (a) raw yields -----------------------------------------------------------
+
+def test_process_yielding_raw_number_is_flagged():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                yield 0.5
+        """
+    )
+    hits = _sim005(findings)
+    assert len(hits) == 1
+    assert "raw value" in hits[0].message
+
+
+def test_process_yielding_generator_call_is_flagged():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                yield self.step()
+
+            def step(self):
+                yield self.sim.timeout(1)
+        """
+    )
+    hits = _sim005(findings)
+    assert len(hits) == 1
+    assert "yield from" in hits[0].message
+
+
+def test_yielding_events_and_bare_yield_are_clean():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                yield self.sim.timeout(1)
+                if self.done:
+                    return
+                yield
+        """
+    )
+    assert _sim005(findings) == []
+
+
+def test_non_process_generator_may_yield_values():
+    # A plain data generator (never spawned) is outside the protocol.
+    findings = lint_snippet(
+        """
+        def chunks(total, size):
+            offset = 0
+            while offset < total:
+                yield min(size, total - offset)
+                offset += size
+        """
+    )
+    assert _sim005(findings) == []
+
+
+# -- (b) swallowed cancellation ----------------------------------------------
+
+def test_swallowing_kill_in_loop_is_flagged():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                while True:
+                    try:
+                        yield self.sim.timeout(1)
+                    except Exception:
+                        self.errors += 1
+        """
+    )
+    hits = _sim005(findings)
+    assert len(hits) == 1
+    assert "cancellation" in hits[0].message
+
+
+def test_catching_kill_and_returning_is_clean():
+    findings = lint_snippet(
+        """
+        from ..errors import ProcessKilled
+
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                try:
+                    while True:
+                        yield self.sim.timeout(1)
+                except ProcessKilled:
+                    return
+        """
+    )
+    assert _sim005(findings) == []
+
+
+def test_catching_kill_and_reraising_is_clean():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                while True:
+                    try:
+                        yield self.sim.timeout(1)
+                    except BaseException:
+                        self.cleanup()
+                        raise
+        """
+    )
+    assert _sim005(findings) == []
+
+
+def test_narrow_handler_does_not_swallow_kill():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                while True:
+                    try:
+                        yield self.sim.timeout(1)
+                    except ValueError:
+                        self.retries += 1
+        """
+    )
+    assert _sim005(findings) == []
+
+
+# -- (c) discarded generators -------------------------------------------------
+
+def test_calling_generator_without_consuming_is_flagged():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def cycle(self):
+                yield self.sim.timeout(1)
+
+            def tick(self):
+                self.cycle()
+        """
+    )
+    hits = _sim005(findings)
+    assert len(hits) == 1
+    assert "discarded" in hits[0].message
+
+
+def test_yield_from_and_spawn_consumption_are_clean():
+    findings = lint_snippet(
+        """
+        class Worker:
+            def start(self, sim):
+                sim.spawn(self.run(), name="worker")
+
+            def run(self):
+                yield from self.cycle()
+
+            def cycle(self):
+                yield self.sim.timeout(1)
+        """
+    )
+    assert _sim005(findings) == []

@@ -157,9 +157,19 @@ def build_receipt(scale: float = 1.0, repeats: int | None = None,
             ),
         }
 
+    from ..sim import DEFAULT_SCHEDULER
+
     return {
         "schema": 1,
         "kind": "calendar-queue scheduler receipt",
+        "default_scheduler": DEFAULT_SCHEDULER,
+        "default_scheduler_note": (
+            "the default backend is 'auto': it starts on the heap "
+            "(which wins the small-population, zero-delay-dominated "
+            "shapes below by ~5%) and adopts the calendar once the "
+            "pending-timer population crosses the adoption threshold, "
+            "so each regime gets the backend that wins it"
+        ),
         "rev": _git_rev(),
         "python": platform.python_version(),
         "machine": platform.machine(),

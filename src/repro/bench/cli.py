@@ -98,6 +98,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure calendar vs heap scheduler "
                              "backends, write a BENCH_calendar.json "
                              "receipt, and exit")
+    parser.add_argument("--alloc-receipt", default=None, metavar="PATH",
+                        help="measure allocations-per-event and pool "
+                             "behaviour, write a BENCH_alloc.json "
+                             "receipt, and exit")
+    parser.add_argument("--alloc-check", default=None, metavar="BASELINE",
+                        help="fast counting-only pass vs a committed "
+                             "BENCH_alloc.json; exit 1 if allocations "
+                             "per event grew past --tolerance")
+    parser.add_argument("--capacity-receipt", default=None, metavar="PATH",
+                        help="run the 1024-4096 rank capacity sweep, "
+                             "write a BENCH_capacity.json receipt, "
+                             "and exit")
     add_jobs_arg(parser)
     args = parser.parse_args(argv)
 
@@ -127,6 +139,44 @@ def main(argv: list[str] | None = None) -> int:
 
         return write_calendar(
             args.calendar_receipt, scale=args.scale, repeats=args.repeat,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if args.alloc_receipt is not None:
+        from .alloc_receipt import write_receipt as write_alloc
+
+        return write_alloc(
+            args.alloc_receipt, scale=args.scale, repeats=args.repeat,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if args.alloc_check is not None:
+        from .alloc_receipt import check_allocs, measure_allocs
+
+        with open(args.alloc_check) as fh:
+            baseline = json.load(fh)
+        measured = measure_allocs(scale=args.scale)
+        regressions = check_allocs(
+            measured, baseline, tolerance=args.tolerance
+        )
+        if regressions:
+            print(f"ALLOCATION REGRESSION vs {args.alloc_check}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        for name, rows in measured.items():
+            for scheduler, row in rows.items():
+                print(f"{name}[{scheduler}]: "
+                      f"{row['allocs_per_event']:.4f} allocs/event")
+        print(f"no allocation regression vs {args.alloc_check} "
+              f"(tolerance {args.tolerance * 100:.0f}%)")
+        return 0
+
+    if args.capacity_receipt is not None:
+        from .capacity_receipt import write_receipt as write_capacity
+
+        return write_capacity(
+            args.capacity_receipt, scale=args.scale,
             progress=lambda msg: print(msg, flush=True),
         )
 

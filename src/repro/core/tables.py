@@ -34,6 +34,10 @@ from ..errors import CacheError
 from ..intervals import IntervalMap
 from ..kvstore import HashDB
 
+#: Upper bound passed to IntervalMap.spans() for whole-map iteration
+#: (offsets are byte positions; no file approaches 2**63).
+_SPAN_ALL = 1 << 63
+
 
 @dataclasses.dataclass
 class CDTEntry:
@@ -221,7 +225,7 @@ class CDT:
         return list(self._by_file.get(d_file, {}).values())
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class DMTExtent:
     """One mapping record (Fig. 5): D_file/D_offset -> C_file/C_offset.
 
@@ -326,10 +330,10 @@ class DMT:
         if index is None:
             return
         end = offset + size
-        for interval in index.overlapping(offset, end):
-            seg_start = interval.start if interval.start > offset else offset
-            seg_end = interval.end if interval.end < end else end
-            yield seg_start, seg_end, interval.value
+        for iv_start, iv_end, extent in index.spans(offset, end):
+            seg_start = iv_start if iv_start > offset else offset
+            seg_end = iv_end if iv_end < end else end
+            yield seg_start, seg_end, extent
 
     def fully_mapped(self, d_file: str, offset: int, size: int) -> bool:
         index = self._by_file.get(d_file)
@@ -339,12 +343,14 @@ class DMT:
         index = self._by_file.get(d_file)
         if index is None:
             return []
-        return [iv.value for iv in index]
+        return [extent for _, _, extent in index.spans(0, _SPAN_ALL)]
 
     def all_extents(self) -> list[DMTExtent]:
         """Every extent: files in first-mapping order, offsets within."""
         return [
-            iv.value for index in self._by_file.values() for iv in index
+            extent
+            for index in self._by_file.values()
+            for _, _, extent in index.spans(0, _SPAN_ALL)
         ]
 
     def dirty_extents(self, limit: int | None = None) -> list[DMTExtent]:
@@ -457,8 +463,7 @@ class DMT:
         for index in self._by_file.values():
             self._count += len(index)
             self._bytes += index.total_bytes
-            for interval in index:
-                e = interval.value
+            for _, _, e in index.spans(0, _SPAN_ALL):
                 if e.dirty:
                     self._dirty.setdefault(e.record_id, e)
         self._ids = itertools.count(max_id + 1)

@@ -7,6 +7,14 @@ truncates them.  This is the workhorse behind:
 - file content tracking (range -> write stamp) used to verify data
   consistency through the cache, and
 - the DMT (range in the original file -> location in the cache file).
+
+Storage is three parallel lists (``_starts``/``_ends``/``_values``)
+rather than a list of interval objects: a mapped extent costs two ints
+in compact lists plus the value reference, not a boxed node.  The
+:class:`Interval` record still exists as the *query-surface* type —
+``__iter__``/``overlapping``/``clear_range`` construct instances
+lazily for callers that want them — while :meth:`spans` exposes the
+raw ``(start, end, value)`` triples for hot paths that don't.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import typing
 T = typing.TypeVar("T")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Interval(typing.Generic[T]):
     """One mapped range ``[start, end)`` with its value."""
 
@@ -38,16 +46,20 @@ class Interval(typing.Generic[T]):
 class IntervalMap(typing.Generic[T]):
     """Sorted, non-overlapping map from byte ranges to values."""
 
+    __slots__ = ("_starts", "_ends", "_values", "_total_bytes")
+
     def __init__(self) -> None:
         self._starts: list[int] = []
-        self._items: list[Interval[T]] = []
+        self._ends: list[int] = []
+        self._values: list[T] = []
         self._total_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._starts)
 
     def __iter__(self) -> typing.Iterator[Interval[T]]:
-        return iter(self._items)
+        for i in range(len(self._starts)):
+            yield Interval(self._starts[i], self._ends[i], self._values[i])
 
     @property
     def total_bytes(self) -> int:
@@ -62,7 +74,8 @@ class IntervalMap(typing.Generic[T]):
         self.clear_range(start, end)
         idx = bisect.bisect_left(self._starts, start)
         self._starts.insert(idx, start)
-        self._items.insert(idx, Interval(start, end, value))
+        self._ends.insert(idx, end)
+        self._values.insert(idx, value)
         self._total_bytes += end - start
 
     def add(self, start: int, end: int, value: T) -> None:
@@ -76,68 +89,79 @@ class IntervalMap(typing.Generic[T]):
         if end <= start or start < 0:
             raise ValueError(f"bad range [{start}, {end})")
         starts = self._starts
+        ends = self._ends
         idx = bisect.bisect_left(starts, start)
-        if idx > 0 and self._items[idx - 1].end > start:
+        if idx > 0 and ends[idx - 1] > start:
             raise ValueError(
-                f"[{start}, {end}) overlaps {self._items[idx - 1]}"
+                f"[{start}, {end}) overlaps "
+                f"[{starts[idx - 1]}, {ends[idx - 1]})"
             )
         if idx < len(starts) and starts[idx] < end:
-            raise ValueError(f"[{start}, {end}) overlaps {self._items[idx]}")
+            raise ValueError(
+                f"[{start}, {end}) overlaps [{starts[idx]}, {ends[idx]})"
+            )
         starts.insert(idx, start)
-        self._items.insert(idx, Interval(start, end, value))
+        ends.insert(idx, end)
+        self._values.insert(idx, value)
         self._total_bytes += end - start
 
     def clear_range(self, start: int, end: int) -> list[Interval[T]]:
         """Unmap ``[start, end)``; returns the removed (clipped) pieces."""
         if end <= start:
             return []
+        starts = self._starts
+        ends = self._ends
+        values = self._values
         removed: list[Interval[T]] = []
-        idx = bisect.bisect_right(self._starts, start) - 1
+        idx = bisect.bisect_right(starts, start) - 1
         if idx < 0:
             idx = 0
-        keep_left: Interval[T] | None = None
-        keep_right: Interval[T] | None = None
+        keep_left: tuple[int, int, T] | None = None
+        keep_right: tuple[int, int, T] | None = None
         first_removed = None
-        while idx < len(self._items):
-            item = self._items[idx]
-            if item.start >= end:
+        while idx < len(starts):
+            i_start = starts[idx]
+            if i_start >= end:
                 break
-            if item.end <= start:
+            i_end = ends[idx]
+            if i_end <= start:
                 idx += 1
                 continue
-            # Overlapping item: clip out the middle.
-            if item.start < start:
-                keep_left = Interval(item.start, start, item.value)
-            if item.end > end:
-                keep_right = Interval(end, item.end, item.value)
-            clipped = Interval(
-                max(item.start, start), min(item.end, end), item.value
-            )
+            # Overlapping entry: clip out the middle.
+            value = values[idx]
+            if i_start < start:
+                keep_left = (i_start, start, value)
+            if i_end > end:
+                keep_right = (end, i_end, value)
+            clipped = Interval(max(i_start, start), min(i_end, end), value)
             removed.append(clipped)
-            self._total_bytes -= clipped.length
+            self._total_bytes -= clipped.end - clipped.start
             if first_removed is None:
                 first_removed = idx
-            del self._starts[idx]
-            del self._items[idx]
+            del starts[idx]
+            del ends[idx]
+            del values[idx]
         insert_at = first_removed if first_removed is not None else bisect.bisect_left(
-            self._starts, start
+            starts, start
         )
         for piece in (keep_right, keep_left):
             if piece is not None:
-                self._starts.insert(insert_at, piece.start)
-                self._items.insert(insert_at, piece)
+                starts.insert(insert_at, piece[0])
+                ends.insert(insert_at, piece[1])
+                values.insert(insert_at, piece[2])
         return removed
 
     def remove_exact(self, start: int, end: int) -> Interval[T]:
         """Remove an interval that must exist with these exact bounds."""
-        idx = bisect.bisect_left(self._starts, start)
-        if idx < len(self._items):
-            item = self._items[idx]
-            if item.start == start and item.end == end:
-                del self._starts[idx]
-                del self._items[idx]
-                self._total_bytes -= item.length
-                return item
+        starts = self._starts
+        idx = bisect.bisect_left(starts, start)
+        if idx < len(starts) and starts[idx] == start and self._ends[idx] == end:
+            item = Interval(start, end, self._values[idx])
+            del starts[idx]
+            del self._ends[idx]
+            del self._values[idx]
+            self._total_bytes -= end - start
+            return item
         raise KeyError(f"no exact interval [{start}, {end})")
 
     # -- queries -----------------------------------------------------------
@@ -151,28 +175,59 @@ class IntervalMap(typing.Generic[T]):
         """
         if end <= start:
             return []
+        starts = self._starts
+        ends = self._ends
+        values = self._values
         out: list[tuple[int, int, T | None]] = []
         pos = start
-        idx = bisect.bisect_right(self._starts, start) - 1
+        idx = bisect.bisect_right(starts, start) - 1
         if idx < 0:
             idx = 0
-        while pos < end and idx < len(self._items):
-            item = self._items[idx]
-            if item.end <= pos:
+        n = len(starts)
+        while pos < end and idx < n:
+            if ends[idx] <= pos:
                 idx += 1
                 continue
-            if item.start >= end:
+            i_start = starts[idx]
+            if i_start >= end:
                 break
-            if item.start > pos:
-                out.append((pos, item.start, None))
-                pos = item.start
-            seg_end = min(item.end, end)
-            out.append((pos, seg_end, item.value))
+            if i_start > pos:
+                out.append((pos, i_start, None))
+                pos = i_start
+            seg_end = min(ends[idx], end)
+            out.append((pos, seg_end, values[idx]))
             pos = seg_end
             idx += 1
         if pos < end:
             out.append((pos, end, None))
         return out
+
+    def spans(
+        self, start: int, end: int
+    ) -> typing.Iterator[tuple[int, int, T]]:
+        """Yield ``(start, end, value)`` for entries intersecting the range.
+
+        The raw-triple sibling of :meth:`overlapping`: same order, same
+        unclipped bounds, but no :class:`Interval` objects — this is the
+        zero-allocation iteration primitive the DMT read path uses.
+        """
+        if end <= start:
+            return
+        starts = self._starts
+        ends = self._ends
+        values = self._values
+        idx = bisect.bisect_right(starts, start) - 1
+        if idx < 0:
+            idx = 0
+        n = len(starts)
+        while idx < n:
+            i_start = starts[idx]
+            if i_start >= end:
+                break
+            i_end = ends[idx]
+            if i_end > start:
+                yield i_start, i_end, values[idx]
+            idx += 1
 
     def overlapping(
         self, start: int, end: int
@@ -181,39 +236,27 @@ class IntervalMap(typing.Generic[T]):
 
         Intervals come back in offset order, *unclipped* (a hit that
         straddles a query edge is returned whole).  Unlike
-        :meth:`lookup` this materialises nothing and reports no gaps —
-        it is the cheap iteration primitive for "what is cached here".
+        :meth:`lookup` this reports no gaps; instances are built
+        lazily per hit (use :meth:`spans` to avoid even that).
         """
-        if end <= start:
-            return
-        items = self._items
-        idx = bisect.bisect_right(self._starts, start) - 1
-        if idx < 0:
-            idx = 0
-        n = len(items)
-        while idx < n:
-            item = items[idx]
-            if item.start >= end:
-                break
-            if item.end > start:
-                yield item
-            idx += 1
+        for i_start, i_end, value in self.spans(start, end):
+            yield Interval(i_start, i_end, value)
 
     def covered(self, start: int, end: int) -> bool:
         """True if every byte in ``[start, end)`` is mapped."""
         if end <= start:
             return True
-        items = self._items
-        idx = bisect.bisect_right(self._starts, start) - 1
+        starts = self._starts
+        ends = self._ends
+        idx = bisect.bisect_right(starts, start) - 1
         if idx < 0:
             return False
         pos = start
-        n = len(items)
+        n = len(starts)
         while True:
-            item = items[idx]
-            if item.start > pos or item.end <= pos:
+            if starts[idx] > pos or ends[idx] <= pos:
                 return False
-            pos = item.end
+            pos = ends[idx]
             if pos >= end:
                 return True
             idx += 1
@@ -224,29 +267,37 @@ class IntervalMap(typing.Generic[T]):
         """True if any byte in ``[start, end)`` is mapped."""
         if end <= start:
             return False
-        idx = bisect.bisect_right(self._starts, start)
-        if idx > 0 and self._items[idx - 1].end > start:
+        starts = self._starts
+        idx = bisect.bisect_right(starts, start)
+        if idx > 0 and self._ends[idx - 1] > start:
             return True
-        return idx < len(self._items) and self._items[idx].start < end
+        return idx < len(starts) and starts[idx] < end
 
     def value_at(self, offset: int) -> T | None:
         """Value mapped at a single byte offset, or None."""
         idx = bisect.bisect_right(self._starts, offset) - 1
-        if idx >= 0:
-            item = self._items[idx]
-            if item.end > offset:
-                return item.value
+        if idx >= 0 and self._ends[idx] > offset:
+            return self._values[idx]
         return None
 
     def check_invariants(self) -> None:
         """Assert sortedness, non-overlap and counter consistency
         (used by property tests)."""
-        for a, b in zip(self._items, self._items[1:]):
-            if a.end > b.start:
-                raise AssertionError(f"overlap: {a} then {b}")
-        if self._starts != [i.start for i in self._items]:
-            raise AssertionError("starts index out of sync")
-        actual = sum(item.length for item in self._items)
+        starts = self._starts
+        ends = self._ends
+        if not (len(starts) == len(ends) == len(self._values)):
+            raise AssertionError("parallel arrays out of sync")
+        for i in range(len(starts)):
+            if ends[i] <= starts[i]:
+                raise AssertionError(
+                    f"bad interval [{starts[i]}, {ends[i]})"
+                )
+            if i and ends[i - 1] > starts[i]:
+                raise AssertionError(
+                    f"overlap: [{starts[i - 1]}, {ends[i - 1]}) then "
+                    f"[{starts[i]}, {ends[i]})"
+                )
+        actual = sum(e - s for s, e in zip(starts, ends))
         if self._total_bytes != actual:
             raise AssertionError(
                 f"total_bytes drift: cached {self._total_bytes}, "

@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced request and where its bytes went."""
 

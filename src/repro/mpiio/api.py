@@ -28,7 +28,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class FileHandle:
     """Middleware-level state for one open logical file (shared by all
     ranks that opened the same path through the same layer)."""

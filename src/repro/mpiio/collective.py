@@ -20,7 +20,7 @@ from ..errors import MPIIOError
 from .datasieve import Segment, coalesce
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _CollectiveCall:
     """Rendezvous state of one collective invocation."""
 
@@ -28,7 +28,7 @@ class _CollectiveCall:
     plan: "_Plan | None" = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _Plan:
     #: aggregator rank -> contiguous (offset, size) domains to access.
     domains: dict[int, list[Segment]]

@@ -38,7 +38,7 @@ class Barrier:
             yield self._gate
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RankStats:
     """Per-rank outcome of a job."""
 

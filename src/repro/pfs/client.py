@@ -28,7 +28,7 @@ HEADER_BYTES = 256
 DEFAULT_COALESCE = True
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class IOResult:
     """Outcome of one parallel file request."""
 

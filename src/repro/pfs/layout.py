@@ -33,7 +33,7 @@ def _validate(offset: int, size: int, stripe: int, servers: int) -> None:
         raise PFSError(f"request size must be positive: {size}")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SubRequest:
     """One server's share of a parallel request.
 

@@ -6,21 +6,36 @@ Engine layout (the hot path of every experiment in the repo):
   interchangeable backends implement it, selected per simulator via
   ``Simulator(scheduler=...)``:
 
-  * ``"calendar"`` (the default) — a calendar queue / timer wheel:
+  * ``"calendar"`` — a calendar queue / timer wheel:
     a power-of-two ring of buckets, each one bucket-width of simulated
-    time wide.  Insert appends to ``buckets[slot & mask]`` (O(1));
-    pops drain one bucket at a time into a sorted *due* batch.  Events
-    beyond the wheel horizon go to a sorted overflow list and migrate
-    into the wheel as the cursor approaches.  The wheel resizes itself
+    time wide.  Buckets are stored as three parallel lists (whens,
+    seqs, events) instead of ``(when, seq, event)`` tuples, so a timed
+    entry allocates **nothing**: inserts are a bisect on the whens
+    list plus three C-level list inserts, and because sequence numbers
+    are globally monotonic in schedule order, positioning by ``when``
+    alone reproduces the full ``(when, seq)`` sort order.  Buckets are
+    therefore always sorted and a drain steals the three lists
+    wholesale — no per-pop sort, no tuple unpacking.  Events beyond
+    the wheel horizon go to a sorted overflow triple and migrate into
+    the wheel as the cursor approaches.  The wheel resizes itself
     (bucket width and slot count) from occupancy statistics — all
     content-driven, so resize points are deterministic.
-  * ``"heap"`` — the classic binary heap keyed by ``(time, seq)``;
-    kept for differential testing against the calendar backend.
+  * ``"heap"`` — the classic binary heap keyed by ``(time, seq)``
+    tuples; kept for differential testing against the calendar
+    backend (``heapq`` requires tuple entries; the engine counts them
+    in :attr:`Simulator.timed_entry_tuples` so allocation receipts
+    stay honest).
+  * ``"auto"`` (the default) — heap while the pending-timer
+    population stays small (its run loop is a little tighter, which
+    wins on zero-delay-dominated workloads), switching to the
+    calendar wheel the first time ``_AUTO_TIMERS`` timers are
+    pending.  The switch re-sorts the pending entries into the wheel
+    and cannot change the pop order.
 
   Both backends pop in exactly the same ``(time, seq)`` total order:
   the slot index ``int(time * inv_width)`` is monotonic in ``time``,
-  so walking buckets in slot order and sorting within a bucket
-  reproduces the global sort order bit-for-bit.
+  so walking buckets in slot order reproduces the global sort order
+  bit-for-bit.
 
 - Zero-delay events — the majority in a typical run: resource grants,
   store hand-offs, completion notifications, process bootstraps — go
@@ -30,17 +45,25 @@ Engine layout (the hot path of every experiment in the repo):
   scheduled for the same time still fire in schedule order.  (All
   run-queue entries carry the current clock as their timestamp — the
   clock cannot advance while the run-queue is non-empty — so the merge
-  only ever compares sequence numbers at one timestamp.)
-- Plain ``yield sim.timeout(x)`` timeouts are recycled through a free
-  pool (see :mod:`repro.sim.events` for the pooling contract), and
-  process bootstrap events are recycled through a frame pool.
+  only ever compares sequence numbers at one timestamp.)  The run
+  loops cache the merge verdict: while the timed queue's front lies in
+  the future (``_timed_ready`` False) a run-queue pop is one
+  ``popleft`` with no timed-queue probes at all; only scheduling an
+  entry at or before ``now`` (possible via float rounding) re-arms the
+  check.
+- The engine recycles its per-event objects through free pools on the
+  simulator: plain ``yield sim.timeout(x)`` timeouts, process
+  bootstrap frames, and generic ``sim.event()`` events whose sole
+  consumer was a process resume (see :mod:`repro.sim.events` for the
+  pooling contract).  ``Simulator(pooling=False)`` disables every pool
+  for differential testing.
 """
 
 from __future__ import annotations
 
 import heapq
 import typing
-from bisect import insort
+from bisect import bisect_left, bisect_right
 from collections import deque
 
 from ..errors import SimulationError
@@ -53,12 +76,25 @@ from .rng import RandomStreams
 _TIMEOUT_POOL_LIMIT = 256
 #: Upper bound on pooled process bootstrap frames kept for reuse.
 _FRAME_POOL_LIMIT = 256
+#: Upper bound on pooled generic Event instances kept for reuse.
+_EVENT_POOL_LIMIT = 256
 
-#: The default timed-queue backend.
-DEFAULT_SCHEDULER = "calendar"
+#: The default timed-queue backend.  ``"auto"`` starts on the heap
+#: (whose smaller run loop wins under low timer pressure) and adopts
+#: the calendar wheel the first time the pending-timer population
+#: reaches :data:`_AUTO_TIMERS` — both backends pop the identical
+#: ``(time, seq)`` order, so the switch is invisible to the workload.
+DEFAULT_SCHEDULER = "auto"
 #: Every backend the engine knows; ``Simulator(scheduler=...)`` must
 #: name one of these (simlint SIM003 checks call sites statically).
-SCHEDULERS = ("calendar", "heap")
+SCHEDULERS = ("auto", "calendar", "heap")
+
+#: Pending-timer population at which an ``"auto"`` simulator switches
+#: from the heap to the calendar backend (checked at timed-pop time).
+#: Below this the heap's O(log n) is cheap and its tighter run loop
+#: wins; above it the calendar's O(1) inserts and batched drains pay
+#: for themselves (BENCH_calendar's *_calendar shapes).
+_AUTO_TIMERS = 512
 
 # -- calendar-queue geometry ------------------------------------------------
 #: Initial bucket count (always a power of two).
@@ -75,9 +111,9 @@ _CAL_MAX_WIDTH = 1e3
 #: Slot-count growth cap.
 _CAL_MAX_SLOTS = 1 << 16
 #: Overflow entries tolerated before the wheel re-gears to the
-#: pending span (insort into the sorted overflow is O(len), so the
-#: list must stay shallow); doubled as a backoff when the geometry is
-#: already clamped at its bounds.
+#: pending span (a bisect-insert into the sorted overflow is O(len),
+#: so the list must stay shallow); doubled as a backoff when the
+#: geometry is already clamped at its bounds.
 _CAL_OVER_LIMIT0 = 1024
 
 #: Cancelled-entry compaction: once at least this many cancellations
@@ -95,17 +131,26 @@ class Simulator:
     events scheduled for the same time fire in schedule order, and all
     randomness flows through :class:`~repro.sim.rng.RandomStreams`.
 
-    ``scheduler`` selects the timed-queue backend (``"calendar"`` or
-    ``"heap"``); both produce bit-identical event order (see the module
-    docstring).
+    ``scheduler`` selects the timed-queue backend: ``"auto"`` (the
+    default — heap until the pending-timer population reaches
+    :data:`_AUTO_TIMERS`, then the calendar wheel), ``"calendar"`` or
+    ``"heap"``.  All choices produce bit-identical event order (see
+    the module docstring).  ``pooling=False`` disables the Timeout/frame/Event
+    free pools (every event is freshly allocated) without changing the
+    event order in any way — the differential test suite runs the same
+    workload pooled and unpooled and asserts identical streams.
     """
 
-    def __init__(self, seed: int = 0, scheduler: str = DEFAULT_SCHEDULER):
+    def __init__(self, seed: int = 0, scheduler: str = DEFAULT_SCHEDULER,
+                 pooling: bool = True):
         if scheduler not in SCHEDULERS:
             raise SimulationError(
                 f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
             )
         self.scheduler = scheduler
+        #: True until an "auto" simulator commits to a backend.
+        self._auto = scheduler == "auto"
+        self.pooling = pooling
         self.now: float = 0.0
         self.rng = RandomStreams(seed)
         #: Timed queue, heap backend (stays empty under "calendar").
@@ -115,9 +160,26 @@ class Simulator:
         self._runq: deque[Event] = deque()
         self._timeout_pool: list[Timeout] = []
         self._frame_pool: list[_Frame] = []
+        self._event_pool: list[Event] = []
+        # Per-simulator pool caps; zeroed by pooling=False so the run
+        # loops never recycle (``len(pool) < 0`` is never true) and the
+        # creation paths never find a pooled instance.
+        self._timeout_limit = _TIMEOUT_POOL_LIMIT if pooling else 0
+        self._frame_limit = _FRAME_POOL_LIMIT if pooling else 0
+        self._event_limit = _EVENT_POOL_LIMIT if pooling else 0
         self._seq = 0
         self._next_pid = 0
         self._active_process: Process | None = None
+        #: ``(time, seq, event)`` tuples handed to the timed queue —
+        #: one per heap push, zero under the flat calendar backend.
+        #: Allocation receipts read this to report tuple churn honestly.
+        self.timed_entry_tuples = 0
+        #: Merge-verdict cache for the run loops: False only while the
+        #: timed queue provably holds nothing at or before ``now``, so
+        #: run-queue pops skip the timed probes entirely.  Every
+        #: schedule path that can arm an entry at/behind ``now`` sets
+        #: it back to True; the run loops re-verify before trusting it.
+        self._timed_ready = True
         #: Crashed-but-unjoined processes, keyed by their monotonic
         #: ``pid`` — never by ``id()``, which is an allocator address
         #: and differs across runs (DET004).
@@ -130,39 +192,86 @@ class Simulator:
         #: :class:`~repro.obs.streaming.profiler.EngineProfiler`.
         self._profiler = None
         if scheduler == "calendar":
-            # Calendar state is kept flat on the simulator (not behind
-            # a queue object) so the inlined hot paths pay one
-            # attribute load per field, same as the heap backend.
-            self._cal_inv = 1.0 / _CAL_WIDTH0
-            self._cal_mask = _CAL_SLOTS0 - 1
-            self._cal_buckets: list[list] = [[] for _ in range(_CAL_SLOTS0)]
-            #: The sorted batch currently being drained: every entry
-            #: with slot <= cursor.  ``_cal_due_idx`` is the
-            #: consumption point; entries before it are spent.
-            self._cal_due: list[tuple[float, int, Event]] | None = []
-            self._cal_due_idx = 0
-            #: Entries sitting in buckets (due and overflow excluded —
-            #: their sizes are read directly).  Kept buckets-only so
-            #: consuming from the due batch costs no counter update.
-            self._cal_count = 0
-            #: Far-future entries beyond the wheel horizon, ascending.
-            self._cal_over: list[tuple[float, int, Event]] = []
-            #: Overflow length that triggers :meth:`_cal_regear`.
-            self._cal_over_limit = _CAL_OVER_LIMIT0
-            #: Absolute slot index of the drain cursor (monotonic
-            #: between rebuilds).
-            self._cal_cur = 0
-            # Resize-policy counters (reset at each policy check).
-            self._cal_batches = 0
-            self._cal_scans = 0
-            self._cal_popped = 0
-            #: Inserts that landed at/behind the cursor (due insort).
-            #: When these dominate, bucket width is too coarse for the
-            #: run's delay scale and the wheel narrows itself.
-            self._cal_insorts = 0
+            self._cal_init()
         else:
-            #: ``None`` marks the heap backend on every hot path.
-            self._cal_due = None
+            #: ``None`` marks the heap backend on every hot path
+            #: ("heap", and "auto" until it adopts the calendar).
+            self._cal_dw = None
+
+    def _cal_init(self) -> None:
+        """Install empty calendar-queue state at the default geometry.
+
+        Calendar state is kept flat on the simulator (not behind a
+        queue object) so the inlined hot paths pay one attribute load
+        per field, same as the heap backend.  Every container is a
+        parallel triple: whens (floats), seqs (ints), events — never
+        per-entry tuples.
+        """
+        self._cal_inv = 1.0 / _CAL_WIDTH0
+        self._cal_mask = _CAL_SLOTS0 - 1
+        self._cal_bw: list[list[float]] = [[] for _ in range(_CAL_SLOTS0)]
+        self._cal_bs: list[list[int]] = [[] for _ in range(_CAL_SLOTS0)]
+        self._cal_be: list[list[Event]] = [[] for _ in range(_CAL_SLOTS0)]
+        #: The sorted batch currently being drained: every entry
+        #: with slot <= cursor.  ``_cal_due_idx`` is the
+        #: consumption point; entries before it are spent.
+        #: ``_cal_dw is None`` marks the heap backend everywhere.
+        self._cal_dw: list[float] | None = []
+        self._cal_ds: list[int] = []
+        self._cal_de: list[Event] = []
+        self._cal_due_idx = 0
+        #: Entries sitting in buckets (due and overflow excluded —
+        #: their sizes are read directly).  Kept buckets-only so
+        #: consuming from the due batch costs no counter update.
+        self._cal_count = 0
+        #: Far-future entries beyond the wheel horizon, ascending.
+        self._cal_ow: list[float] = []
+        self._cal_os: list[int] = []
+        self._cal_oe: list[Event] = []
+        #: Overflow length that triggers :meth:`_cal_regear`.
+        self._cal_over_limit = _CAL_OVER_LIMIT0
+        #: Absolute slot index of the drain cursor (monotonic
+        #: between rebuilds).
+        self._cal_cur = int(self.now * self._cal_inv)
+        # Resize-policy counters (reset at each policy check).
+        self._cal_batches = 0
+        self._cal_scans = 0
+        self._cal_popped = 0
+        #: Inserts that landed at/behind the cursor (due insort).
+        #: When these dominate, bucket width is too coarse for the
+        #: run's delay scale and the wheel narrows itself.
+        self._cal_insorts = 0
+
+    def _cal_adopt(self) -> None:
+        """Switch an ``"auto"`` simulator from the heap to the calendar.
+
+        Called from the run loop when the pending-timer population
+        crosses :data:`_AUTO_TIMERS`.  The heap's entries become the
+        calendar's overflow (they are sorted first — ``(when, seq)``
+        tuples compare exactly in pop order) and are redistributed at
+        the *default* geometry, exactly as if they had been inserted
+        through the normal paths: big sorted buckets drain by the
+        O(1) whole-bucket steal, so a coarse wheel beats one fitted
+        to ~1 entry per slot (slot scans, not bucket sizes, are the
+        drain cost), and the content-driven resize policy adapts from
+        there.  Both backends pop the identical total order, so the
+        switch cannot change any observable schedule.
+        """
+        self._auto = False
+        entries = sorted(self._heap)
+        self._heap.clear()  # the running loop's local alias drains out
+        self._cal_init()
+        self._cal_ow = [t[0] for t in entries]
+        self._cal_os = [t[1] for t in entries]
+        self._cal_oe = [t[2] for t in entries]
+        if self._cal_ow:
+            self._cal_rebuild(self._cal_inv, self._cal_mask + 1)
+        self._timed_ready = True
+
+    @property
+    def active_scheduler(self) -> str:
+        """The backend currently in use (resolves ``"auto"``)."""
+        return "heap" if self._cal_dw is None else "calendar"
 
     @property
     def events_scheduled(self) -> int:
@@ -177,7 +286,24 @@ class Simulator:
 
     # -- event creation helpers -----------------------------------------
     def event(self) -> Event:
-        """Create a fresh untriggered event."""
+        """Create a fresh untriggered event.
+
+        Recycles a pooled instance when one is available: a generic
+        event whose sole consumer was a process resume is returned to
+        the pool by the run loop the moment its value was delivered
+        (see :mod:`repro.sim.events` for the contract).  Pooled reuse
+        resets all life-cycle state, so a recycled event is
+        indistinguishable from a fresh one.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            # _cb0/_callbacks/_exc are provably None at recycle time
+            # and _value was cleared then (no payload retention).
+            event._triggered = False
+            event._processed = False
+            event._had_joiners = False
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
@@ -202,42 +328,66 @@ class Simulator:
                 return timeout
             seq = self._seq = self._seq + 1
             when = self.now + delay
-            due = self._cal_due
-            if due is not None:
-                # Inlined calendar insert (see _cal_insert).
+            dw = self._cal_dw
+            if dw is not None:
+                # Inlined calendar insert (see _schedule).
                 s = int(when * self._cal_inv)
                 d = s - self._cal_cur
                 if 0 < d <= self._cal_mask:
-                    self._cal_buckets[s & self._cal_mask].append(
-                        (when, seq, timeout)
-                    )
+                    j = s & self._cal_mask
+                    bw = self._cal_bw[j]
+                    if not bw or when >= bw[-1]:
+                        bw.append(when)
+                        self._cal_bs[j].append(seq)
+                        self._cal_be[j].append(timeout)
+                    else:
+                        # Position by when alone: seq is globally
+                        # monotonic, so bisect_right lands after every
+                        # equal-when entry — exact (when, seq) order.
+                        i = bisect_right(bw, when)
+                        bw.insert(i, when)
+                        self._cal_bs[j].insert(i, seq)
+                        self._cal_be[j].insert(i, timeout)
                     self._cal_count += 1
                 elif d <= 0:
                     idx = self._cal_due_idx
                     if idx > 1024:
-                        # Trim the spent prefix so insort cost tracks
+                        # Trim the spent prefix so insert cost tracks
                         # the live batch, not consumption history.
-                        del due[:idx]
+                        del dw[:idx]
+                        del self._cal_ds[:idx]
+                        del self._cal_de[:idx]
                         self._cal_due_idx = idx = 0
-                    # lo=idx: never insort into the spent prefix.  It
+                    # lo=idx: never insert into the spent prefix.  It
                     # can hold times above ``when`` — a lazily skipped
                     # cancelled entry is consumed without advancing the
                     # clock — and an entry landing there would be lost.
-                    insort(due, (when, seq, timeout), idx)
-                    if len(due) - idx > 32:
-                        # Small-batch insorts are as cheap as a bucket
+                    i = bisect_right(dw, when, idx)
+                    dw.insert(i, when)
+                    self._cal_ds.insert(i, seq)
+                    self._cal_de.insert(i, timeout)
+                    if when <= self.now:
+                        self._timed_ready = True
+                    if len(dw) - idx > 32:
+                        # Small-batch inserts are as cheap as a bucket
                         # append; only a fat live batch signals a wheel
                         # degenerating into one sorted list.
                         n = self._cal_insorts = self._cal_insorts + 1
                         if n >= 2048:
                             self._cal_retune()
                 else:
-                    over = self._cal_over
-                    insort(over, (when, seq, timeout))
-                    if len(over) > self._cal_over_limit:
+                    ow = self._cal_ow
+                    i = bisect_right(ow, when)
+                    ow.insert(i, when)
+                    self._cal_os.insert(i, seq)
+                    self._cal_oe.insert(i, timeout)
+                    if len(ow) > self._cal_over_limit:
                         self._cal_regear()
             else:
                 heapq.heappush(self._heap, (when, seq, timeout))
+                self.timed_entry_tuples += 1
+                if when <= self.now:
+                    self._timed_ready = True
             return timeout
         return Timeout(self, delay, value)
 
@@ -270,18 +420,24 @@ class Simulator:
         runq = self._runq
         now = self.now
         seq = self._seq
-        due = self._cal_due
-        if due is not None:
-            buckets = self._cal_buckets
+        dw = self._cal_dw
+        pushed = 0
+        if dw is not None:
+            ds = self._cal_ds
+            de = self._cal_de
+            bw_all = self._cal_bw
+            bs_all = self._cal_bs
+            be_all = self._cal_be
             mask = self._cal_mask
             inv = self._cal_inv
             cur = self._cal_cur
-            over = self._cal_over
             added = 0
             #: Far-future entries collected locally and merged into the
-            #: overflow list once — per-item insort into a large
+            #: overflow triple once — per-item inserts into a large
             #: overflow would make bulk pre-arming quadratic.
-            far: list[tuple[float, int, Timeout]] = []
+            fw: list[float] = []
+            fs: list[int] = []
+            fe: list[Timeout] = []
         else:
             heap = self._heap
             heappush = heapq.heappush
@@ -295,11 +451,11 @@ class Simulator:
                 when = now + delay
             if delay < 0:
                 self._seq = seq
-                if due is not None:
+                self.timed_entry_tuples += pushed
+                if dw is not None:
                     self._cal_count += added
-                    if far:
-                        over.extend(far)
-                        over.sort()
+                    if fw:
+                        self._cal_merge_far(fw, fs, fe)
                 raise SimulationError(f"negative timeout delay: {delay}")
             if pool:
                 timeout = pool.pop()
@@ -325,36 +481,56 @@ class Simulator:
                 runq.append(timeout)
             else:
                 seq += 1
-                if due is not None:
+                if dw is not None:
                     s = int(when * inv)
                     d = s - cur
                     if 0 < d <= mask:
-                        buckets[s & mask].append((when, seq, timeout))
+                        j = s & mask
+                        bw = bw_all[j]
+                        if not bw or when >= bw[-1]:
+                            bw.append(when)
+                            bs_all[j].append(seq)
+                            be_all[j].append(timeout)
+                        else:
+                            i = bisect_right(bw, when)
+                            bw.insert(i, when)
+                            bs_all[j].insert(i, seq)
+                            be_all[j].insert(i, timeout)
                         added += 1
                     elif d <= 0:
                         # lo: keep out of the spent prefix (see timeout).
-                        insort(due, (when, seq, timeout),
-                               self._cal_due_idx)
-                        if len(due) - self._cal_due_idx > 32:
+                        i = bisect_right(dw, when, self._cal_due_idx)
+                        dw.insert(i, when)
+                        ds.insert(i, seq)
+                        de.insert(i, timeout)
+                        if when <= now:
+                            self._timed_ready = True
+                        if len(dw) - self._cal_due_idx > 32:
                             self._cal_insorts += 1
                     else:
-                        far.append((when, seq, timeout))
+                        fw.append(when)
+                        fs.append(seq)
+                        fe.append(timeout)
                 else:
                     heappush(heap, (when, seq, timeout))
+                    pushed += 1
+                    if when <= now:
+                        self._timed_ready = True
             out.append(timeout)
         self._seq = seq
-        if due is not None:
+        self.timed_entry_tuples += pushed
+        if dw is not None:
             self._cal_count += added
-            if far:
-                if len(far) == 1:
-                    insort(over, far[0])
-                else:
-                    # One merge for the whole batch; timsort exploits
-                    # the pre-sorted runs of both lists.
-                    over.extend(far)
-                    over.sort()
-                if len(over) > self._cal_over_limit:
+            if fw:
+                self._cal_merge_far(fw, fs, fe)
+                if len(self._cal_ow) > self._cal_over_limit:
                     self._cal_regear()
+        elif self._auto and len(heap) >= _AUTO_TIMERS:
+            # A bulk pre-arm is exactly the flood the calendar wins at:
+            # adopt now, before the drain pays a heappop per entry (a
+            # running _run_heap drive notices at its exit and hands
+            # over to _run_calendar).
+            self._cal_adopt()
         return out
 
     def all_of(self, events: typing.Sequence[Event]) -> AllOf:
@@ -391,35 +567,58 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         seq = self._seq = self._seq + 1
         when = self.now + delay
-        due = self._cal_due
-        if due is None:
+        dw = self._cal_dw
+        if dw is None:
             heapq.heappush(self._heap, (when, seq, event))
+            self.timed_entry_tuples += 1
+            if when <= self.now:
+                self._timed_ready = True
             return
         s = int(when * self._cal_inv)
         d = s - self._cal_cur
         if 0 < d <= self._cal_mask:
-            self._cal_buckets[s & self._cal_mask].append((when, seq, event))
+            j = s & self._cal_mask
+            bw = self._cal_bw[j]
+            if not bw or when >= bw[-1]:
+                bw.append(when)
+                self._cal_bs[j].append(seq)
+                self._cal_be[j].append(event)
+            else:
+                i = bisect_right(bw, when)
+                bw.insert(i, when)
+                self._cal_bs[j].insert(i, seq)
+                self._cal_be[j].insert(i, event)
             self._cal_count += 1
         elif d <= 0:
             # At or behind the drain cursor: merge into the live batch,
             # never into its spent prefix (lo=idx) — skipped cancelled
-            # entries leave future times there, and an entry insorted
+            # entries leave future times there, and an entry inserted
             # behind the consumption point would be lost.
             idx = self._cal_due_idx
             if idx > 1024:
-                del due[:idx]
+                del dw[:idx]
+                del self._cal_ds[:idx]
+                del self._cal_de[:idx]
                 self._cal_due_idx = idx = 0
-            insort(due, (when, seq, event), idx)
-            if len(due) - idx > 32:
+            i = bisect_right(dw, when, idx)
+            dw.insert(i, when)
+            self._cal_ds.insert(i, seq)
+            self._cal_de.insert(i, event)
+            if when <= self.now:
+                self._timed_ready = True
+            if len(dw) - idx > 32:
                 # See timeout(): only fat live batches count toward
                 # the narrow-retune trigger.
                 n = self._cal_insorts = self._cal_insorts + 1
                 if n >= 2048:
                     self._cal_retune()
         else:
-            over = self._cal_over
-            insort(over, (when, seq, event))
-            if len(over) > self._cal_over_limit:
+            ow = self._cal_ow
+            i = bisect_right(ow, when)
+            ow.insert(i, when)
+            self._cal_os.insert(i, seq)
+            self._cal_oe.insert(i, event)
+            if len(ow) > self._cal_over_limit:
                 self._cal_regear()
 
     def cancel(self, event: Event) -> None:
@@ -448,9 +647,9 @@ class Simulator:
         n = len(cancelled)
         if n < _COMPACT_MIN_CANCELLED:
             return
-        if self._cal_due is not None:
-            live = (self._cal_count + len(self._cal_over)
-                    + len(self._cal_due) - self._cal_due_idx)
+        if self._cal_dw is not None:
+            live = (self._cal_count + len(self._cal_ow)
+                    + len(self._cal_dw) - self._cal_due_idx)
         else:
             live = len(self._heap)
         if n * 4 >= live:
@@ -467,37 +666,63 @@ class Simulator:
         """
         cancelled = self._cancelled
         removed: list[Event] = []
-        due = self._cal_due
-        if due is not None:
-            keep: list[tuple[float, int, Event]] = []
-            for entry in due[self._cal_due_idx:]:
-                if entry[2] in cancelled:
-                    removed.append(entry[2])
+        dw = self._cal_dw
+        if dw is not None:
+            ds = self._cal_ds
+            de = self._cal_de
+            kw: list[float] = []
+            ks: list[int] = []
+            ke: list[Event] = []
+            for i in range(self._cal_due_idx, len(dw)):
+                event = de[i]
+                if event in cancelled:
+                    removed.append(event)
                 else:
-                    keep.append(entry)
-            self._cal_due = keep
+                    kw.append(dw[i])
+                    ks.append(ds[i])
+                    ke.append(event)
+            self._cal_dw = kw
+            self._cal_ds = ks
+            self._cal_de = ke
             self._cal_due_idx = 0
             count = 0
-            buckets = self._cal_buckets
-            for i, bucket in enumerate(buckets):
-                if not bucket:
+            bw_all = self._cal_bw
+            bs_all = self._cal_bs
+            be_all = self._cal_be
+            for j, be in enumerate(be_all):
+                if not be:
                     continue
-                kept = []
-                for entry in bucket:
-                    if entry[2] in cancelled:
-                        removed.append(entry[2])
+                bw = bw_all[j]
+                bs = bs_all[j]
+                kw, ks, ke = [], [], []
+                for i, event in enumerate(be):
+                    if event in cancelled:
+                        removed.append(event)
                     else:
-                        kept.append(entry)
-                if len(kept) != len(bucket):
-                    buckets[i] = kept
-                count += len(kept)
-            over = []
-            for entry in self._cal_over:
-                if entry[2] in cancelled:
-                    removed.append(entry[2])
+                        kw.append(bw[i])
+                        ks.append(bs[i])
+                        ke.append(event)
+                if len(ke) != len(be):
+                    bw_all[j] = kw
+                    bs_all[j] = ks
+                    be_all[j] = ke
+                    count += len(ke)
                 else:
-                    over.append(entry)
-            self._cal_over = over
+                    count += len(be)
+            ow = self._cal_ow
+            os_ = self._cal_os
+            oe = self._cal_oe
+            kw, ks, ke = [], [], []
+            for i, event in enumerate(oe):
+                if event in cancelled:
+                    removed.append(event)
+                else:
+                    kw.append(ow[i])
+                    ks.append(os_[i])
+                    ke.append(event)
+            self._cal_ow = kw
+            self._cal_os = ks
+            self._cal_oe = ke
             self._cal_count = count
         else:
             heap = self._heap
@@ -522,86 +747,155 @@ class Simulator:
         self._crashed[process.pid] = exc
 
     # -- calendar internals ----------------------------------------------
+    def _cal_merge_far(self, fw: list[float], fs: list[int],
+                       fe: list[Event]) -> None:
+        """Merge a batch of far-future entries into the overflow triple.
+
+        ``fw/fs/fe`` arrive in schedule order (seqs ascending, all
+        larger than any seq already in the overflow), so one *stable*
+        sort by when reproduces the full ``(when, seq)`` order — no
+        per-entry tuples, even transiently.
+        """
+        ow = self._cal_ow
+        if len(fw) == 1:
+            i = bisect_right(ow, fw[0])
+            ow.insert(i, fw[0])
+            self._cal_os.insert(i, fs[0])
+            self._cal_oe.insert(i, fe[0])
+            return
+        if ow:
+            cw = ow + fw
+            cs = self._cal_os + fs
+            ce = self._cal_oe + fe
+        else:
+            cw, cs, ce = fw, fs, fe
+        order = sorted(range(len(cw)), key=cw.__getitem__)
+        self._cal_ow = [cw[i] for i in order]
+        self._cal_os = [cs[i] for i in order]
+        self._cal_oe = [ce[i] for i in order]
+
     def _cal_refill(self) -> bool:
-        """Advance the wheel so ``_cal_due[_cal_due_idx]`` is the next
+        """Advance the wheel so the due triple's front is the next
         timed entry; returns False when the timed queue is empty.
 
-        One refill extracts one whole bucket (sorted) into the due
-        batch, migrating overflow entries whose slot entered the wheel
+        One refill extracts one whole bucket into the due triple,
+        migrating overflow entries whose slot entered the wheel
         horizon first.  Every non-empty bucket holds entries of exactly
         one slot value (wheel entries always sit within ``mask`` slots
-        of the cursor), so whole-bucket extraction preserves the global
-        ``(time, seq)`` order.
+        of the cursor) and buckets are kept sorted at insert time, so
+        whole-bucket extraction preserves the global ``(time, seq)``
+        order with no sort at drain time.
         """
         if self._cal_batches >= _CAL_POLICY_BATCHES:
             self._cal_policy()
-        due = self._cal_due
-        if self._cal_due_idx < len(due):
+        dw = self._cal_dw
+        if self._cal_due_idx < len(dw):
             return True
         inv = self._cal_inv
         mask = self._cal_mask
-        over = self._cal_over
+        ow = self._cal_ow
         cur = self._cal_cur
         count = self._cal_count
         if not count:
-            if not over:
+            if not ow:
                 self._cal_cur = cur
                 return False
             # Wheel drained: jump the cursor straight to the overflow
             # head's slot (no empty-slot walk).
-            cur = int(over[0][0] * inv)
-        if over and int(over[0][0] * inv) <= cur + mask:
+            cur = int(ow[0] * inv)
+        if ow and int(ow[0] * inv) <= cur + mask:
             # Migrate every overflow entry now inside the horizon.
             # While the wheel is non-empty the cursor trails every
             # overflow slot, so migrated entries land strictly ahead
             # of it — except on the jump above, where the head batch
             # lands exactly on the cursor and drains immediately.
             horizon = cur + mask
-            n = len(over)
+            n = len(ow)
             k = 1
-            while k < n and int(over[k][0] * inv) <= horizon:
+            while k < n and int(ow[k] * inv) <= horizon:
                 k += 1
-            buckets = self._cal_buckets
-            pre: list | None = None
-            moved = 0
-            for entry in over[:k]:
-                s = int(entry[0] * inv)
-                if s > cur:
-                    buckets[s & mask].append(entry)
-                    moved += 1
-                else:
-                    if pre is None:
-                        pre = []
-                    pre.append(entry)
-            del over[:k]
-            self._cal_count = count = count + moved
-            if pre is not None:
-                # A sorted prefix of the (sorted) overflow list: drain
-                # it directly as the due batch.
-                self._cal_due = pre
+            os_ = self._cal_os
+            oe = self._cal_oe
+            # Slot index is monotonic in when, so entries at/behind the
+            # cursor form a prefix of the (sorted) overflow.
+            p = 0
+            while p < k and int(ow[p] * inv) <= cur:
+                p += 1
+            if p < k:
+                bw_all = self._cal_bw
+                bs_all = self._cal_bs
+                be_all = self._cal_be
+                for m in range(p, k):
+                    w = ow[m]
+                    j = int(w * inv) & mask
+                    bw = bw_all[j]
+                    if not bw or w > bw[-1]:
+                        bw.append(w)
+                        bs_all[j].append(os_[m])
+                        be_all[j].append(oe[m])
+                    else:
+                        # A resident sharing ``w`` was scheduled after
+                        # the horizon covered its slot, i.e. later than
+                        # this migrating entry — so migrated entries go
+                        # *before* equal-when residents, in their own
+                        # seq order (the bs walk keeps migrant order).
+                        bs = bs_all[j]
+                        s = os_[m]
+                        i = bisect_left(bw, w)
+                        while i < len(bw) and bw[i] == w and bs[i] < s:
+                            i += 1
+                        bw.insert(i, w)
+                        bs.insert(i, s)
+                        be_all[j].insert(i, oe[m])
+                self._cal_count = count = count + (k - p)
+            if p:
+                # A sorted prefix of the (sorted) overflow at/behind
+                # the cursor: drain it directly as the due triple.
+                self._cal_dw = ow[:p]
+                self._cal_ds = os_[:p]
+                self._cal_de = oe[:p]
+                del ow[:k]
+                del os_[:k]
+                del oe[:k]
                 self._cal_due_idx = 0
                 self._cal_cur = cur
                 self._cal_batches += 1
-                self._cal_popped += len(pre)
+                self._cal_popped += p
                 return True
+            del ow[:k]
+            del os_[:k]
+            del oe[:k]
         if not count:
             self._cal_cur = cur
             return False
-        buckets = self._cal_buckets
+        bw_all = self._cal_bw
         scans = 0
         while True:
-            bucket = buckets[cur & mask]
-            if bucket and int(bucket[0][0] * inv) <= cur:
-                if len(bucket) > 1:
-                    bucket.sort()
-                buckets[cur & mask] = []
-                self._cal_count = count - len(bucket)
-                self._cal_due = bucket
+            j = cur & mask
+            bw = bw_all[j]
+            if bw and int(bw[0] * inv) <= cur:
+                bs_all = self._cal_bs
+                be_all = self._cal_be
+                k = len(bw)
+                # Steal the bucket's three lists as the due triple and
+                # leave the spent due lists (cleared) as the empty
+                # bucket — zero allocation, zero sort.
+                sw, ss, se = self._cal_dw, self._cal_ds, self._cal_de
+                del sw[:]
+                del ss[:]
+                del se[:]
+                self._cal_dw = bw
+                self._cal_ds = bs_all[j]
+                self._cal_de = be_all[j]
+                bw_all[j] = sw
+                bs_all[j] = ss
+                be_all[j] = se
+                self._cal_count = count - k
                 self._cal_due_idx = 0
                 self._cal_cur = cur
                 self._cal_scans += scans
                 self._cal_batches += 1
-                self._cal_popped += len(bucket)
+                self._cal_popped += k
                 return True
             cur += 1
             scans += 1
@@ -650,17 +944,17 @@ class Simulator:
         Overflow larger than both the ring and the in-wheel population
         means the horizon is far too short for the pending
         distribution — every further far-future insert pays an O(n)
-        insort and every refill an O(n) migration, which is quadratic
+        insert and every refill an O(n) migration, which is quadratic
         over a bulk pre-armed drain.  Rebuild with the ring grown
         toward the pending count and the bucket width set so twice the
         span to the farthest entry fits the ring (fresh timers near
         the far edge still land inside the wheel).  Content-driven and
         deterministic, like every other resize.
         """
-        over = self._cal_over
-        span = over[-1][0] - self.now
-        pending = (self._cal_count + len(over)
-                   + len(self._cal_due) - self._cal_due_idx)
+        ow = self._cal_ow
+        span = ow[-1] - self.now
+        pending = (self._cal_count + len(ow)
+                   + len(self._cal_dw) - self._cal_due_idx)
         nslots = self._cal_mask + 1
         while nslots < _CAL_MAX_SLOTS and nslots < pending:
             nslots *= 4
@@ -674,12 +968,12 @@ class Simulator:
             # next attempt waits for the overflow to double (amortized
             # O(1) per insert even in the clamped regime).
             self._cal_over_limit = max(self._cal_over_limit,
-                                       2 * len(self._cal_over))
+                                       2 * len(self._cal_ow))
 
     def _cal_retune(self) -> None:
         """Narrow the buckets when inserts keep landing at the cursor.
 
-        Inserts at or behind the cursor (due-insort path) mean delays
+        Inserts at or behind the cursor (due-insert path) mean delays
         are shorter than one bucket width — the wheel is degenerating
         into a single sorted list.  Narrowing restores O(1) bucket
         inserts.  Triggered purely by insert counts: deterministic.
@@ -692,37 +986,82 @@ class Simulator:
         """Re-bucket every pending entry under a new geometry.
 
         Order cannot change: entries re-sort by the same ``(time, seq)``
-        keys they already carry.
+        keys they already carry.  The sort runs in two stable passes
+        (seq, then when) over the parallel lists, which is exactly a
+        sort by ``(when, seq)`` without materialising key tuples.
         """
-        entries = list(self._cal_due[self._cal_due_idx:])
-        for bucket in self._cal_buckets:
-            entries.extend(bucket)
-        entries.sort()
-        entries.extend(self._cal_over)  # overflow: sorted, all later
+        idx = self._cal_due_idx
+        ew = self._cal_dw[idx:]
+        es = self._cal_ds[idx:]
+        ee = self._cal_de[idx:]
+        bs_all = self._cal_bs
+        be_all = self._cal_be
+        for j, bw in enumerate(self._cal_bw):
+            if bw:
+                ew.extend(bw)
+                es.extend(bs_all[j])
+                ee.extend(be_all[j])
+        order = sorted(range(len(ew)), key=es.__getitem__)
+        order.sort(key=ew.__getitem__)
+        # Overflow entries: sorted, and all later than every wheel/due
+        # entry (their slots sit beyond the horizon).
+        ow_old = self._cal_ow
+        os_old = self._cal_os
+        oe_old = self._cal_oe
         mask = nslots - 1
         self._cal_inv = inv
         self._cal_mask = mask
-        buckets = self._cal_buckets = [[] for _ in range(nslots)]
-        due = self._cal_due = []
-        over = self._cal_over = []
+        bw_all = self._cal_bw = [[] for _ in range(nslots)]
+        bs_all = self._cal_bs = [[] for _ in range(nslots)]
+        be_all = self._cal_be = [[] for _ in range(nslots)]
+        dw = self._cal_dw = []
+        ds = self._cal_ds = []
+        de = self._cal_de = []
+        ow = self._cal_ow = []
+        os_ = self._cal_os = []
+        oe = self._cal_oe = []
         self._cal_due_idx = 0
         cur = self._cal_cur = int(self.now * inv)
         horizon = cur + mask
         count = 0
-        for entry in entries:
-            s = int(entry[0] * inv)
+        for i in order:
+            w = ew[i]
+            s = int(w * inv)
             if s <= cur:
-                due.append(entry)
+                dw.append(w)
+                ds.append(es[i])
+                de.append(ee[i])
             elif s <= horizon:
-                buckets[s & mask].append(entry)
+                j = s & mask
+                bw_all[j].append(w)
+                bs_all[j].append(es[i])
+                be_all[j].append(ee[i])
                 count += 1
             else:
-                over.append(entry)
+                ow.append(w)
+                os_.append(es[i])
+                oe.append(ee[i])
+        for i, w in enumerate(ow_old):
+            s = int(w * inv)
+            if s <= cur:
+                dw.append(w)
+                ds.append(os_old[i])
+                de.append(oe_old[i])
+            elif s <= horizon:
+                j = s & mask
+                bw_all[j].append(w)
+                bs_all[j].append(os_old[i])
+                be_all[j].append(oe_old[i])
+                count += 1
+            else:
+                ow.append(w)
+                os_.append(os_old[i])
+                oe.append(oe_old[i])
         self._cal_count = count
         # Whatever stayed beyond the new horizon was already weighed
         # by the geometry choice; re-gear again only once the overflow
         # doubles from here (or crosses the base threshold afresh).
-        self._cal_over_limit = max(_CAL_OVER_LIMIT0, 2 * len(over))
+        self._cal_over_limit = max(_CAL_OVER_LIMIT0, 2 * len(ow))
 
     # -- running -----------------------------------------------------------
     def _pop_merged(self, until: float | None = None) -> Event | None:
@@ -737,38 +1076,37 @@ class Simulator:
         """
         runq = self._runq
         cancelled = self._cancelled
-        if self._cal_due is not None:
+        if self._cal_dw is not None:
             while True:
-                due = self._cal_due
+                dw = self._cal_dw
                 idx = self._cal_due_idx
-                if idx < len(due):
+                if idx < len(dw):
                     have = True
-                elif self._cal_count or self._cal_over:
+                elif self._cal_count or self._cal_ow:
                     have = self._cal_refill()
                     if have:
-                        due = self._cal_due
+                        dw = self._cal_dw
                         idx = self._cal_due_idx
                 else:
                     have = False
                 if runq:
                     if have:
-                        entry = due[idx]
-                        if entry[0] <= self.now and entry[1] < runq[0]._qseq:
+                        when = dw[idx]
+                        if when <= self.now and self._cal_ds[idx] < runq[0]._qseq:
                             self._cal_due_idx = idx + 1
-                            event = entry[2]
+                            event = self._cal_de[idx]
                             if cancelled and event in cancelled:
                                 cancelled.discard(event)
                                 continue
-                            self.now = entry[0]
+                            self.now = when
                             return event
                     return runq.popleft()
                 if have:
-                    entry = due[idx]
-                    when = entry[0]
+                    when = dw[idx]
                     if until is not None and when > until:
                         return None
                     self._cal_due_idx = idx + 1
-                    event = entry[2]
+                    event = self._cal_de[idx]
                     if cancelled and event in cancelled:
                         cancelled.discard(event)
                         continue
@@ -821,15 +1159,15 @@ class Simulator:
 
         Returns the final simulation time.  This is the engine's inner
         loop: the pop is inlined (no per-event ``step()`` call), pooled
-        timeouts and bootstrap frames are recycled here, and the
-        dominant dispatch — resume a waiting process generator — is
-        inlined down to the ``generator.send`` call.
+        timeouts, bootstrap frames and generic events are recycled
+        here, and the dominant dispatch — resume a waiting process
+        generator — is inlined down to the ``generator.send`` call.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         if self._profiler is not None:
             return self._profiler.run(until)
-        if self._cal_due is not None:
+        if self._cal_dw is not None:
             return self._run_calendar(until)
         return self._run_heap(until)
 
@@ -838,25 +1176,56 @@ class Simulator:
         runq = self._runq
         pool = self._timeout_pool
         fpool = self._frame_pool
+        epool = self._event_pool
+        tlimit = self._timeout_limit
+        flimit = self._frame_limit
+        elimit = self._event_limit
         crashed = self._crashed
         cancelled = self._cancelled
         heappop = heapq.heappop
         generic_process = Event._process
         resume = _events._RESUME
+        auto = self._auto
+        # External drives (step/_pop_merged) do not maintain the merge
+        # cache; re-verify on entry.
+        self._timed_ready = True
         while True:
             # -- pop ----------------------------------------------------
-            if runq:
-                # Zero-delay fast lane; a timed event sharing the
-                # current timestamp but scheduled earlier still first.
-                if heap and heap[0][0] <= self.now and heap[0][1] < runq[0]._qseq:
-                    when, _, event = heappop(heap)
-                    if cancelled and event in cancelled:
-                        cancelled.discard(event)
-                        continue
-                    self.now = when
+            if runq and not self._timed_ready:
+                # Zero-delay fast lane: the timed front was verified to
+                # lie in the future and dispatch cannot arm anything at
+                # or before ``now`` without flipping ``_timed_ready``.
+                event = runq.popleft()
+            elif runq:
+                if heap and heap[0][0] <= self.now:
+                    if heap[0][1] < runq[0]._qseq:
+                        # A timed event sharing the current timestamp
+                        # but scheduled earlier still goes first.
+                        when, _, event = heappop(heap)
+                        if cancelled and event in cancelled:
+                            cancelled.discard(event)
+                            continue
+                        self.now = when
+                    else:
+                        event = runq.popleft()
+                elif self._cal_dw is not None:
+                    # A dispatched callback bulk-armed timers and
+                    # adopted the calendar mid-drive: hand over before
+                    # declaring the (now empty) heap quiet — the
+                    # calendar may hold an entry due at this very
+                    # timestamp.
+                    return self._run_calendar(until)
                 else:
+                    self._timed_ready = False
                     event = runq.popleft()
             elif heap:
+                if auto and len(heap) >= _AUTO_TIMERS:
+                    # Timer pressure crossed the threshold: adopt the
+                    # calendar wheel and hand the drive over (the local
+                    # ``heap`` alias was drained by the adopt, so this
+                    # loop could pop nothing more anyway).
+                    self._cal_adopt()
+                    return self._run_calendar(until)
                 when = heap[0][0]
                 if until is not None and when > until:
                     self.now = until
@@ -865,8 +1234,18 @@ class Simulator:
                 if cancelled and event in cancelled:
                     cancelled.discard(event)
                     continue
+                # The clock advance can move further timed entries
+                # into the past relative to fresh run-queue events:
+                # re-arm the merge check.
+                self._timed_ready = True
                 self.now = when
             else:
+                if self._cal_dw is not None:
+                    # A dispatched callback bulk-armed timers and
+                    # adopted the calendar mid-drive (emptying our
+                    # local heap alias): hand the drive over before
+                    # the epilogue touches the clock.
+                    return self._run_calendar(until)
                 break
             # -- dispatch (shared with _run_calendar; keep in sync) -----
             cls = type(event)
@@ -882,7 +1261,7 @@ class Simulator:
                     # the timeout and fall through to the inlined
                     # resume below (the value was read already).
                     value = event._value
-                    if len(pool) < _TIMEOUT_POOL_LIMIT:
+                    if len(pool) < tlimit:
                         pool.append(event)
                 else:
                     event._had_joiners = True
@@ -904,7 +1283,7 @@ class Simulator:
                     continue
                 event._cb0 = None
                 value = None
-                if len(fpool) < _FRAME_POOL_LIMIT:
+                if len(fpool) < flimit:
                     event._processed = False
                     fpool.append(event)
             elif cls._process is generic_process:
@@ -920,6 +1299,14 @@ class Simulator:
                     if (callbacks is None and event._exc is None
                             and getattr(cb0, "__func__", None) is resume):
                         value = event._value
+                        if cls is Event and len(epool) < elimit:
+                            # Sole consumer was a process resume: the
+                            # waiter received the value below and, per
+                            # the yield contract, holds no further
+                            # interest — recycle.  Clear the payload so
+                            # a pooled event can never leak it.
+                            event._value = None
+                            epool.append(event)
                     else:
                         if callbacks is None:
                             cb0(event)
@@ -991,95 +1378,130 @@ class Simulator:
         runq = self._runq
         pool = self._timeout_pool
         fpool = self._frame_pool
+        epool = self._event_pool
+        tlimit = self._timeout_limit
+        flimit = self._frame_limit
+        elimit = self._event_limit
         crashed = self._crashed
         cancelled = self._cancelled
         refill = self._cal_refill
         generic_process = Event._process
         resume = _events._RESUME
+        # External drives (step/_pop_merged) do not maintain the merge
+        # cache; re-verify on entry.
+        self._timed_ready = True
         while True:
             # -- pop ----------------------------------------------------
-            # Re-read due/idx each iteration: dispatch callbacks can
-            # insort into the live batch or trigger a rebuild.
-            due = self._cal_due
-            idx = self._cal_due_idx
-            if idx < len(due):
-                have = True
-            elif (self._cal_count
-                    and self._cal_batches < _CAL_POLICY_BATCHES
-                    and (not (over := self._cal_over)
-                         or int(over[0][0] * self._cal_inv)
-                         > self._cal_cur + self._cal_mask)):
-                # Inlined _cal_refill scan fast path — no policy check
-                # due and no overflow entry inside the wheel horizon,
-                # so nothing to migrate (keep in sync with refill):
-                # the scan below tops out at cur + mask, strictly
-                # before the earliest overflow slot, so a batch found
-                # here always sorts ahead of every overflow entry.
-                # Far-future timers (a sampler's pre-armed tick chain)
-                # would otherwise park in overflow for most of a run
-                # and force every batch through the slow refill.
-                inv = self._cal_inv
-                mask = self._cal_mask
-                buckets = self._cal_buckets
-                cur = self._cal_cur
-                scans = 0
-                spare = due  # fully consumed: recycle as the empty bucket
-                while True:
-                    due = buckets[cur & mask]
-                    if due and int(due[0][0] * inv) <= cur:
-                        k = len(due)
-                        if k > 1:
-                            due.sort()
-                        del spare[:]
-                        buckets[cur & mask] = spare
-                        self._cal_count -= k
-                        self._cal_due = due
-                        self._cal_due_idx = idx = 0
-                        self._cal_cur = cur
-                        self._cal_scans += scans
-                        self._cal_batches += 1
-                        self._cal_popped += k
-                        have = True
-                        break
-                    cur += 1
-                    scans += 1
-                    if scans > mask + 1:  # pragma: no cover - invariant
-                        raise SimulationError("calendar queue scan overrun")
-            elif self._cal_count or self._cal_over:
-                have = refill()
-                if have:
-                    due = self._cal_due
-                    idx = self._cal_due_idx
+            if runq and not self._timed_ready:
+                # Zero-delay fast lane: every timed entry was verified
+                # to lie in the future (bucket/overflow entries always
+                # do — their slots trail the cursor by at least one —
+                # and the due front was checked), and dispatch cannot
+                # arm anything at or before ``now`` without flipping
+                # ``_timed_ready``.  One popleft, no timed probes.
+                event = runq.popleft()
             else:
-                have = False
-            if runq:
-                if have:
-                    entry = due[idx]
-                    if entry[0] <= self.now and entry[1] < runq[0]._qseq:
-                        self._cal_due_idx = idx + 1
-                        event = entry[2]
-                        if cancelled and event in cancelled:
-                            cancelled.discard(event)
-                            continue
-                        self.now = entry[0]
-                    else:
-                        event = runq.popleft()
+                dw = self._cal_dw
+                idx = self._cal_due_idx
+                if idx < len(dw):
+                    have = True
+                elif (self._cal_count
+                        and self._cal_batches < _CAL_POLICY_BATCHES
+                        and (not (ow := self._cal_ow)
+                             or int(ow[0] * self._cal_inv)
+                             > self._cal_cur + self._cal_mask)):
+                    # Inlined _cal_refill scan fast path — no policy
+                    # check due and no overflow entry inside the wheel
+                    # horizon, so nothing to migrate (keep in sync with
+                    # refill): the scan below tops out at cur + mask,
+                    # strictly before the earliest overflow slot, so a
+                    # batch found here always sorts ahead of every
+                    # overflow entry.  Far-future timers (a sampler's
+                    # pre-armed tick chain) would otherwise park in
+                    # overflow for most of a run and force every batch
+                    # through the slow refill.
+                    inv = self._cal_inv
+                    mask = self._cal_mask
+                    bw_all = self._cal_bw
+                    cur = self._cal_cur
+                    scans = 0
+                    while True:
+                        j = cur & mask
+                        bw = bw_all[j]
+                        if bw and int(bw[0] * inv) <= cur:
+                            bs_all = self._cal_bs
+                            be_all = self._cal_be
+                            k = len(bw)
+                            # Steal the bucket's sorted triple as the
+                            # due batch; the spent due lists (cleared)
+                            # become the empty bucket.  No sort, no
+                            # allocation.
+                            sw, ss, se = dw, self._cal_ds, self._cal_de
+                            del sw[:]
+                            del ss[:]
+                            del se[:]
+                            self._cal_dw = dw = bw
+                            self._cal_ds = bs_all[j]
+                            self._cal_de = be_all[j]
+                            bw_all[j] = sw
+                            bs_all[j] = ss
+                            be_all[j] = se
+                            self._cal_due_idx = idx = 0
+                            self._cal_count -= k
+                            self._cal_cur = cur
+                            self._cal_scans += scans
+                            self._cal_batches += 1
+                            self._cal_popped += k
+                            have = True
+                            break
+                        cur += 1
+                        scans += 1
+                        if scans > mask + 1:  # pragma: no cover
+                            raise SimulationError(
+                                "calendar queue scan overrun")
+                elif self._cal_count or self._cal_ow:
+                    have = refill()
+                    if have:
+                        dw = self._cal_dw
+                        idx = self._cal_due_idx
                 else:
-                    event = runq.popleft()
-            elif have:
-                entry = due[idx]
-                when = entry[0]
-                if until is not None and when > until:
-                    self.now = until
-                    return until
-                self._cal_due_idx = idx + 1
-                event = entry[2]
-                if cancelled and event in cancelled:
-                    cancelled.discard(event)
-                    continue
-                self.now = when
-            else:
-                break
+                    have = False
+                if runq:
+                    if have:
+                        when = dw[idx]
+                        if when <= self.now:
+                            if self._cal_ds[idx] < runq[0]._qseq:
+                                self._cal_due_idx = idx + 1
+                                event = self._cal_de[idx]
+                                if cancelled and event in cancelled:
+                                    cancelled.discard(event)
+                                    continue
+                                self.now = when
+                            else:
+                                event = runq.popleft()
+                        else:
+                            self._timed_ready = False
+                            event = runq.popleft()
+                    else:
+                        self._timed_ready = False
+                        event = runq.popleft()
+                elif have:
+                    when = dw[idx]
+                    if until is not None and when > until:
+                        self.now = until
+                        return until
+                    self._cal_due_idx = idx + 1
+                    event = self._cal_de[idx]
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        continue
+                    # The clock advance can move further timed entries
+                    # into the past relative to fresh run-queue events:
+                    # re-arm the merge check.
+                    self._timed_ready = True
+                    self.now = when
+                else:
+                    break
             # -- dispatch (mirror of _run_heap; keep in sync) -----------
             cls = type(event)
             if cls is Timeout:
@@ -1091,7 +1513,7 @@ class Simulator:
                 if (event._callbacks is None
                         and getattr(cb0, "__func__", None) is resume):
                     value = event._value
-                    if len(pool) < _TIMEOUT_POOL_LIMIT:
+                    if len(pool) < tlimit:
                         pool.append(event)
                 else:
                     event._had_joiners = True
@@ -1111,7 +1533,7 @@ class Simulator:
                     continue
                 event._cb0 = None
                 value = None
-                if len(fpool) < _FRAME_POOL_LIMIT:
+                if len(fpool) < flimit:
                     event._processed = False
                     fpool.append(event)
             elif cls._process is generic_process:
@@ -1124,6 +1546,12 @@ class Simulator:
                     if (callbacks is None and event._exc is None
                             and getattr(cb0, "__func__", None) is resume):
                         value = event._value
+                        if cls is Event and len(epool) < elimit:
+                            # See _run_heap: sole-consumer resume ends
+                            # the event's life; clear the payload and
+                            # recycle.
+                            event._value = None
+                            epool.append(event)
                     else:
                         if callbacks is None:
                             cb0(event)
@@ -1210,9 +1638,9 @@ class Simulator:
         Cancelled-but-not-yet-popped events still occupy queue slots;
         they are excluded here because they will never fire.
         """
-        if self._cal_due is not None:
-            timed = (self._cal_count + len(self._cal_over)
-                     + len(self._cal_due) - self._cal_due_idx)
+        if self._cal_dw is not None:
+            timed = (self._cal_count + len(self._cal_ow)
+                     + len(self._cal_dw) - self._cal_due_idx)
         else:
             timed = len(self._heap)
         return timed + len(self._runq) - len(self._cancelled)

@@ -15,12 +15,21 @@ per simulated second of an S4D run):
   (a process resume), so the first callback lives in a dedicated
   ``_cb0`` slot and the spill list is only allocated for the rare
   multi-waiter event.
-- :class:`Timeout` instances whose sole consumer was a process resume
-  (the plain ``yield sim.timeout(x)`` idiom) are recycled through a
-  free pool on the :class:`~repro.sim.core.Simulator`; holding a
-  yielded timeout across later yields and re-reading it is outside
-  that contract (composite waits via ``any_of``/``all_of`` are safe —
-  their watcher callbacks disqualify the timeout from pooling).
+- The engine recycles event objects through free pools on the
+  :class:`~repro.sim.core.Simulator`.  The contract is uniform:
+  an event whose **sole consumer was a process resume** (the plain
+  ``yield`` idiom — exactly one waiter, no extra callbacks, no
+  failure) is dead the moment its value was delivered, and the run
+  loop reclaims it.  This covers :class:`Timeout` (the plain
+  ``yield sim.timeout(x)`` idiom), process bootstrap frames, generic
+  ``sim.event()`` events, and resource grants (recycled by
+  ``release``).  Holding a yielded event across later yields and
+  re-reading it is outside that contract; composite waits via
+  ``any_of``/``all_of`` are safe — their watcher callbacks disqualify
+  the event from pooling.  Recycling clears the payload (``_value``)
+  so a pooled object can never leak state into its next life, and
+  ``Simulator(pooling=False)`` turns every pool off for differential
+  testing.
 """
 
 from __future__ import annotations

@@ -26,11 +26,22 @@ PRIORITY_NORMAL = 0
 PRIORITY_LOW = 10
 
 
+#: Upper bound on pooled Grant instances kept per resource.
+_GRANT_POOL_LIMIT = 64
+
+
 class Grant(Event):
     """Event returned by :meth:`PriorityResource.acquire`.
 
     Fires (with the grant itself as value) when the resource slot is
     granted; pass it back to :meth:`PriorityResource.release`.
+
+    Grants are recycled through a small per-resource pool once they
+    are *processed and released* — the acquire/release idiom (SIM001)
+    releases in a ``finally`` and drops the handle, so a released
+    grant is dead to its holder.  Re-reading a grant after releasing
+    it is outside the pooling contract (``Simulator(pooling=False)``
+    disables the pool for differential testing).
     """
 
     __slots__ = ("resource", "priority", "released")
@@ -73,6 +84,8 @@ class PriorityResource:
         self._in_use = 0
         self._waiters: list[tuple[int, int, Grant]] = []
         self._seq = 0
+        self._grant_pool: list[Grant] = []
+        self._grant_limit = _GRANT_POOL_LIMIT if sim.pooling else 0
 
     @property
     def in_use(self) -> int:
@@ -91,7 +104,18 @@ class PriorityResource:
         SIM001 enforces this tree-wide): a process killed while holding
         a slot would otherwise wedge the resource for the whole run.
         """
-        grant = Grant(self, priority)
+        pool = self._grant_pool
+        if pool:
+            grant = pool.pop()
+            # _cb0/_callbacks/_exc are provably None on a processed-
+            # and-released grant; _value was cleared at recycle time.
+            grant._triggered = False
+            grant._processed = False
+            grant._had_joiners = False
+            grant.priority = priority
+            grant.released = False
+        else:
+            grant = Grant(self, priority)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             # Inlined grant.succeed(grant) zero-delay path (the grant
@@ -126,6 +150,14 @@ class PriorityResource:
             sim._runq.append(next_grant)
         else:
             self._in_use -= 1
+        if grant._processed and len(self._grant_pool) < self._grant_limit:
+            # Processed + released: the handle is dead to its holder
+            # (see the Grant docstring).  An unprocessed grant — e.g.
+            # released while still pending in the run queue — is never
+            # pooled, so the dispatch it still owes stays safe.  Break
+            # the self-referential value so pooled grants are inert.
+            grant._value = None
+            self._grant_pool.append(grant)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -156,7 +188,9 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next available item."""
-        event = Event(self.sim)
+        # sim.event() recycles pooled generic events: a get whose sole
+        # consumer is a process resume costs no allocation at all.
+        event = self.sim.event()
         if self._items:
             event.succeed(self._items.pop(0))
         else:

@@ -28,7 +28,7 @@ from ..units import parse_size
 from .base import Segment, Workload
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TraceRequest:
     """One parsed trace line."""
 

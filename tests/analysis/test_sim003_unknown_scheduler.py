@@ -41,12 +41,13 @@ def test_known_backends_not_flagged():
         def build():
             a = Simulator(scheduler="calendar")
             b = Simulator(scheduler="heap")
-            return a, b
+            c = Simulator(scheduler="auto")
+            return a, b, c
         """
     )
     assert findings == []
     # The snippet above must track the engine's real backend tuple.
-    assert set(SCHEDULERS) == {"calendar", "heap"}
+    assert set(SCHEDULERS) == {"auto", "calendar", "heap"}
 
 
 def test_non_literal_arguments_not_flagged():

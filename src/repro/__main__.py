@@ -22,6 +22,8 @@ import argparse
 import sys
 
 from .cliutil import (
+    DEFAULT_CACHE_DIR,
+    add_cache_args,
     add_cluster_args,
     add_jobs_arg,
     add_streaming_args,
@@ -54,7 +56,9 @@ def _print_comparison(stock, s4d) -> None:
 
 
 def cmd_compare(args) -> int:
+    from .cliutil import store_from
     from .parallel import fanout
+    from .parallel.store import config_digest
     from .parallel.workers import run_compare_task
 
     workload = build_workload(args)
@@ -66,29 +70,65 @@ def cmd_compare(args) -> int:
         # its series writers, so telemetry runs force a serial compare.
         print("streaming telemetry enabled: forcing --jobs 1")
         jobs = 1
+    store = None if telemetry is not None else store_from(args)
+    # (No result cache under telemetry: a cached result replays the
+    # numbers but cannot replay the run the session wants to observe.)
     # Only the flag values cross the process boundary (set_defaults
     # planted the handler function on the namespace; drop it).
     flags = argparse.Namespace(
         **{k: v for k, v in vars(args).items() if k != "func"}
     )
+    spec = spec_from(args, workload.processes)
 
     def run():
         # The stock and S4D campaigns are independent simulations;
         # with --jobs 2 they run side by side (identical output either
-        # way — fanout's merge is positional).
-        return fanout(
-            [("stock", (flags, False)), ("s4d", (flags, True))],
-            run_compare_task,
-            jobs=jobs,
-            progress=lambda msg: print(msg, flush=True),
-        )
+        # way — fanout's merge is positional).  The content-addressed
+        # digest is taken over the *built* spec and workload, so flag
+        # spellings ("16KB" vs 16384) collide onto one cache entry.
+        tasks = [("stock", (flags, False)), ("s4d", (flags, True))]
+        if store is None:
+            return fanout(
+                tasks, run_compare_task, jobs=jobs,
+                progress=lambda msg: print(msg, flush=True),
+            )
+        digests = {
+            task_id: config_digest(
+                kind="compare", spec=spec, workload=workload, s4d=s4d
+            )
+            for task_id, (_, s4d) in tasks
+        }
+        pending = [
+            (task_id, payload) for task_id, payload in tasks
+            if digests[task_id] not in store
+        ]
+        fresh = dict(zip(
+            (task_id for task_id, _ in pending),
+            fanout(
+                pending, run_compare_task, jobs=jobs,
+                progress=lambda msg: print(msg, flush=True),
+            ),
+        ))
+        merged = []
+        for task_id, _ in tasks:
+            if task_id in fresh:
+                store.put(digests[task_id], fresh[task_id])
+                merged.append(fresh[task_id])
+            else:
+                print(f"{task_id}: sweep cache hit", flush=True)
+                merged.append(store.get(digests[task_id]))
+        return merged
 
-    if telemetry is not None:
-        with telemetry.activate():
+    try:
+        if telemetry is not None:
+            with telemetry.activate():
+                stock, s4d = run()
+            telemetry.close()
+        else:
             stock, s4d = run()
-        telemetry.close()
-    else:
-        stock, s4d = run()
+    finally:
+        if store is not None:
+            store.close()
     _print_comparison(stock, s4d)
     if telemetry is not None:
         summary = telemetry.summary()
@@ -96,6 +136,33 @@ def cmd_compare(args) -> int:
             print(summary)
         for report in telemetry.profiler_reports:
             print(report)
+    return 0
+
+
+def cmd_sweep_cache(args) -> int:
+    import json
+    import os
+
+    from .parallel.store import DB_FILENAME, ResultStore
+
+    if args.action != "clear" and not os.path.exists(
+        os.path.join(args.cache_dir, DB_FILENAME)
+    ):
+        print(f"no sweep cache at {args.cache_dir}")
+        return 0 if args.action == "stats" else 1
+    store = ResultStore(args.cache_dir)
+    try:
+        if args.action == "stats":
+            print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        elif args.action == "gc":
+            removed = store.gc()
+            print(f"gc: removed {removed} stale entries "
+                  f"({store.stats()['entries']} remain)")
+        elif args.action == "clear":
+            store.clear()
+            print(f"cleared sweep cache at {args.cache_dir}")
+    finally:
+        store.close()
     return 0
 
 
@@ -220,8 +287,24 @@ def main(argv: list[str] | None = None) -> int:
     add_workload_args(compare)
     add_cluster_args(compare)
     add_jobs_arg(compare)
+    add_cache_args(compare)
     add_streaming_args(compare)
     compare.set_defaults(func=cmd_compare)
+
+    sweep_cache = sub.add_parser(
+        "sweep-cache",
+        help="inspect / maintain the content-addressed sweep result cache",
+    )
+    sweep_cache.add_argument(
+        "action", choices=["stats", "gc", "clear"],
+        help="stats: print a JSON summary; gc: drop entries from stale "
+             "code revisions and compact; clear: delete everything",
+    )
+    sweep_cache.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"cache location (default {DEFAULT_CACHE_DIR})",
+    )
+    sweep_cache.set_defaults(func=cmd_sweep_cache)
 
     trace = sub.add_parser(
         "trace",

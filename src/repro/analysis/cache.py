@@ -21,6 +21,7 @@ interrupted run never leaves a truncated cache behind.
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import json
 import os
@@ -38,6 +39,46 @@ DEFAULT_CACHE_NAME = ".simlint_cache.json"
 
 def content_hash(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _strip_docstrings(tree: ast.Module) -> None:
+    """Drop docstring expressions in place (module, class, function).
+
+    The removed statement is replaced with ``pass`` so empty bodies
+    stay structurally valid and a docstring *edit* maps to the same
+    dump as a docstring *removal*.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Module, ast.ClassDef,
+                                 ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        body = node.body
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            body[0] = ast.Pass()
+
+
+def semantic_source_hash(source: str) -> str | None:
+    """Hash of a module's *meaning*: the parsed AST minus docstrings.
+
+    Comments, blank lines, docstring wording and formatting never reach
+    the AST, so editing them leaves this hash unchanged; any semantic
+    edit (a constant, an operator, a default) changes it.  Returns
+    ``None`` when the source does not parse — callers fall back to the
+    raw :func:`content_hash` (a broken file must still invalidate).
+
+    This is the same comment-blind invalidation contract the lint
+    cache's project fingerprint follows; the sweep result cache
+    (:mod:`repro.parallel.store`) builds its code fingerprint from it.
+    """
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return None
+    _strip_docstrings(tree)
+    dump = ast.dump(tree, annotate_fields=False, include_attributes=False)
+    return hashlib.sha256(dump.encode("utf-8")).hexdigest()
 
 
 def config_fingerprint(config: LintConfig, rule_codes) -> str:

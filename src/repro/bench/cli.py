@@ -90,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure the parallel sweep + coalescing "
                              "fast path, write a BENCH_parallel.json "
                              "receipt, and exit")
+    parser.add_argument("--sweep-receipt", default=None, metavar="PATH",
+                        help="measure the content-addressed sweep cache "
+                             "(cold vs warm) and work-stealing drain, "
+                             "write a BENCH_sweep.json receipt, and exit")
     parser.add_argument("--streaming-receipt", default=None, metavar="PATH",
                         help="measure streaming-telemetry overhead, "
                              "write a BENCH_streaming.json receipt, "
@@ -123,6 +127,14 @@ def main(argv: list[str] | None = None) -> int:
 
         return write_receipt(
             args.parallel_receipt, jobs=args.jobs if args.jobs > 1 else 4,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if args.sweep_receipt is not None:
+        from .sweep_receipt import write_receipt as write_sweep
+
+        return write_sweep(
+            args.sweep_receipt, jobs=args.jobs if args.jobs > 1 else 2,
             progress=lambda msg: print(msg, flush=True),
         )
 

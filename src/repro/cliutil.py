@@ -51,6 +51,42 @@ def add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Default on-disk location of the sweep result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def add_cache_args(parser: argparse.ArgumentParser) -> None:
+    """The sweep-result-cache flag block (``--cache-dir`` et al.).
+
+    The cache is **on by default**: repeated sweeps only recompute
+    configs whose content address — (canonical config digest, code
+    fingerprint) — changed.  ``--no-result-cache`` opts out; the
+    ``repro sweep-cache`` CLI inspects and maintains the store.
+    """
+    group = parser.add_argument_group("sweep result cache")
+    group.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="content-addressed sweep result cache location "
+             f"(default {DEFAULT_CACHE_DIR}; see 'repro sweep-cache')",
+    )
+    group.add_argument(
+        "--no-result-cache", action="store_true",
+        help="recompute every config instead of consulting the cache",
+    )
+
+
+def store_from(args: argparse.Namespace):
+    """Build the ResultStore a cache-flag namespace asks for (or None)."""
+    if getattr(args, "no_result_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    from .parallel.store import ResultStore
+
+    return ResultStore(cache_dir)
+
+
 def add_streaming_args(parser: argparse.ArgumentParser) -> None:
     """The streaming-telemetry flag block (sampling, exports, profile).
 

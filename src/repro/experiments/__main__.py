@@ -6,7 +6,12 @@ Usage::
     python -m repro.experiments --scale 0.25    # faster
     python -m repro.experiments --only fig6a fig6b
     python -m repro.experiments --jobs 4        # parallel, same output
+    python -m repro.experiments --no-result-cache   # force recompute
     python -m repro.experiments --out /tmp/EXPERIMENTS.md
+
+Repeated invocations answer unchanged configs from the
+content-addressed sweep cache under ``--cache-dir`` (bit-identical to
+recomputation; ``repro sweep-cache stats`` inspects it).
 """
 
 from __future__ import annotations
@@ -14,7 +19,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..cliutil import add_jobs_arg, add_streaming_args, telemetry_from
+from ..cliutil import (
+    add_cache_args,
+    add_jobs_arg,
+    add_streaming_args,
+    store_from,
+    telemetry_from,
+)
 from .harness import list_experiments
 from .report import render_markdown, run_all
 
@@ -40,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list experiment ids and exit"
     )
     add_jobs_arg(parser)
+    add_cache_args(parser)
     add_streaming_args(parser)
     args = parser.parse_args(argv)
 
@@ -55,26 +67,36 @@ def main(argv: list[str] | None = None) -> int:
         # its series writers, so telemetry runs force a serial sweep.
         print("streaming telemetry enabled: forcing --jobs 1")
         jobs = 1
+    # No result cache under telemetry: a cached result replays the
+    # numbers but cannot replay the run the session wants to observe.
+    store = None if telemetry is not None else store_from(args)
 
-    if telemetry is not None:
-        with telemetry.activate():
+    try:
+        if telemetry is not None:
+            with telemetry.activate():
+                results = run_all(
+                    scale=args.scale, only=args.only,
+                    progress=lambda msg: print(msg, flush=True),
+                    jobs=jobs, store=store,
+                )
+            telemetry.close()
+            summary = telemetry.summary()
+            if summary:
+                print(summary)
+            for report in telemetry.profiler_reports:
+                print(report)
+        else:
             results = run_all(
                 scale=args.scale, only=args.only,
                 progress=lambda msg: print(msg, flush=True),
-                jobs=jobs,
+                jobs=jobs, store=store,
             )
-        telemetry.close()
-        summary = telemetry.summary()
-        if summary:
-            print(summary)
-        for report in telemetry.profiler_reports:
-            print(report)
-    else:
-        results = run_all(
-            scale=args.scale, only=args.only,
-            progress=lambda msg: print(msg, flush=True),
-            jobs=jobs,
-        )
+        if store is not None:
+            print(f"sweep cache: {store.hits} hits, {store.misses} misses, "
+                  f"{store.stores} stored ({store.cache_dir})")
+    finally:
+        if store is not None:
+            store.close()
     scale_note = (
         f"--scale {args.scale}" if args.scale is not None
         else "per-experiment defaults"

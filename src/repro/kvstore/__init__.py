@@ -6,11 +6,13 @@ locking to "address lock contentions" between concurrently accessing
 processes.  This package provides those three semantics as a substrate:
 
 - :class:`HashDB` — hash-table KV store with a write-ahead log,
-  explicit ``sync``, and simulated ``crash``/``recover``;
+  explicit ``sync``, and simulated ``crash``/``recover``; pass
+  ``path=`` for a real file-backed WAL (used by the sweep result
+  cache) whose reopen tolerates a crash mid-append;
 - :class:`LockManager` — FIFO per-key locks for simulated processes.
 """
 
-from .hashdb import HashDB
+from .hashdb import HashDB, WalRecord, replay_wal_bytes
 from .locking import LockManager
 
-__all__ = ["HashDB", "LockManager"]
+__all__ = ["HashDB", "LockManager", "WalRecord", "replay_wal_bytes"]

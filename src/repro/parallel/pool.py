@@ -67,19 +67,35 @@ def os_cpu_count() -> int:
 
 def _guarded(worker: Worker, task_id: str, payload: typing.Any):
     """Worker-side wrapper: trap failures so the parent can attribute
-    them to the task instead of receiving a bare pickled exception."""
+    them to the task instead of receiving a bare pickled exception.
+
+    Returns ``(status, value, wall_seconds)`` — the wall time is
+    measured worker-side so the parent can feed the
+    ``parallel.task_seconds`` tally without charging queue time.
+    """
+    import time
+
+    start = time.perf_counter()  # simlint: disable=DET001 - reporting only
     try:
-        return ("ok", worker(payload))
+        value, status = worker(payload), "ok"
     except Exception:
-        return ("error", traceback.format_exc())
+        value, status = traceback.format_exc(), "error"
+    wall = time.perf_counter() - start  # simlint: disable=DET001 - reporting only
+    return (status, value, wall)
 
 
 class _Progress:
-    """Completion counters, optionally mirrored into a registry."""
+    """Completion counters, optionally mirrored into a registry.
+
+    Alongside the done/failed counters, per-task wall time feeds a
+    ``parallel.task_seconds`` tally so stragglers are visible in
+    ``repro monitor`` / metrics snapshots (min/max/mean seconds per
+    unit), and failures emit a progress line naming the failing task.
+    """
 
     def __init__(self, total: int, metrics: MetricsRegistry | None):
         self.total = total
-        self.done = self.failed = None
+        self.done = self.failed = self.seconds = None
         if metrics is not None:
             self.done = (
                 metrics.get("parallel.tasks_done")
@@ -91,14 +107,27 @@ class _Progress:
                 if "parallel.tasks_failed" in metrics
                 else metrics.counter("parallel.tasks_failed")
             )
+            self.seconds = (
+                metrics.get("parallel.task_seconds")
+                if "parallel.task_seconds" in metrics
+                else metrics.tally("parallel.task_seconds")
+            )
 
-    def ok(self) -> None:
+    def ok(self, wall_seconds: float | None = None) -> None:
         if self.done is not None:
             self.done.add()
+        if self.seconds is not None and wall_seconds is not None:
+            self.seconds.observe(wall_seconds)
 
-    def fail(self) -> None:
+    def fail(
+        self,
+        task_id: str,
+        progress: typing.Callable[[str], None] | None = None,
+    ) -> None:
         if self.failed is not None:
             self.failed.add()
+        if progress is not None:
+            progress(f"task {task_id} FAILED")
 
 
 def fanout(
@@ -128,11 +157,11 @@ def fanout(
     if jobs <= 1 or len(tasks) <= 1:
         results = []
         for k, (task_id, payload) in enumerate(tasks):
-            status, value = _guarded(worker, task_id, payload)
+            status, value, wall = _guarded(worker, task_id, payload)
             if status == "error":
-                tracker.fail()
+                tracker.fail(task_id, progress=progress)
                 raise WorkerCrashError(task_id, value)
-            tracker.ok()
+            tracker.ok(wall)
             if progress is not None:
                 progress(f"[{k + 1}/{len(tasks)}] {task_id} done")
             results.append(value)
@@ -154,13 +183,13 @@ def fanout(
             exc = future.exception()
             if exc is not None:
                 # Hard death (BrokenProcessPool) or unpicklable result.
-                tracker.fail()
+                tracker.fail(task_id, progress=progress)
                 raise WorkerCrashError(task_id, f"{type(exc).__name__}: {exc}")
-            status, value = future.result()
+            status, value, wall = future.result()
             if status == "error":
-                tracker.fail()
+                tracker.fail(task_id, progress=progress)
                 raise WorkerCrashError(task_id, value)
-            tracker.ok()
+            tracker.ok(wall)
             completed += 1
             if progress is not None:
                 progress(f"[{completed}/{len(tasks)}] {task_id} done")

@@ -1,9 +1,12 @@
 """The parallel determinism gate: ``--jobs N`` is bit-identical.
 
 The golden subset (fig6/fig9/table3 at the fixture scales) is run once
-serially and once across a 4-wide spawn pool; every fingerprint digest
-must match bit for bit.  This is the acceptance test for the fan-out
-runner: parallelism may change wall time, never output.
+serially and once across a 4-wide work-stealing pool (``run_all`` with
+``jobs > 1`` drains the shared unit queue); every fingerprint digest
+must match bit for bit.  A third pass replays the whole subset out of
+the content-addressed result store — cache hits must be the same bits
+too.  This is the acceptance test for the sweep plane: parallelism and
+memoisation may change wall time, never output.
 """
 
 import pathlib
@@ -17,11 +20,11 @@ from capture_golden import GOLDEN_POINTS  # noqa: E402
 from repro.errors import WorkerCrashError  # noqa: E402
 from repro.experiments import harness, report  # noqa: E402
 import repro.experiments  # noqa: F401,E402  - registers all drivers
-from repro.parallel import fanout  # noqa: E402
+from repro.parallel import ResultStore, fanout  # noqa: E402
 from repro.parallel.experiments import run_group, share_groups  # noqa: E402
 
 
-def _digests(jobs: int) -> dict[str, str]:
+def _digests(jobs: int, store=None) -> dict[str, str]:
     """Golden-subset digests at the given pool width."""
     by_scale: dict[float, list[str]] = {}
     for exp_id, scale in GOLDEN_POINTS:
@@ -29,7 +32,7 @@ def _digests(jobs: int) -> dict[str, str]:
     digests: dict[str, str] = {}
     for scale in sorted(by_scale):
         results = report.run_all(
-            scale=scale, only=by_scale[scale], jobs=jobs
+            scale=scale, only=by_scale[scale], jobs=jobs, store=store
         )
         for exp_id, result in results.items():
             digests[f"{exp_id}@{scale}"] = harness.fingerprint_digest(result)
@@ -41,6 +44,19 @@ def test_jobs4_digests_bit_identical_to_serial():
     parallel = _digests(jobs=4)
     assert set(serial) == {f"{e}@{s}" for e, s in GOLDEN_POINTS}
     assert parallel == serial
+
+
+def test_warm_cache_digests_bit_identical_to_serial(tmp_path):
+    """Every golden point served from the sweep cache carries the same
+    fingerprint as a fresh serial computation."""
+    serial = _digests(jobs=1)
+    with ResultStore(tmp_path / "cache") as store:
+        cold = _digests(jobs=1, store=store)
+        assert store.hits == 0 and store.stores == len(GOLDEN_POINTS)
+        warm = _digests(jobs=1, store=store)
+        assert store.hits == len(GOLDEN_POINTS)
+    assert cold == serial
+    assert warm == serial
 
 
 def test_share_groups_keep_memoised_siblings_together():

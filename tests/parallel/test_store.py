@@ -1,0 +1,192 @@
+"""Property tests for the content-addressed sweep result store.
+
+The digest contract: two configs collide iff they are *semantically*
+equal — dict/kwarg ordering, default-value elision and float
+formatting never matter; any value difference always does.
+"""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.errors import ParallelError
+from repro.parallel import ResultStore, code_fingerprint, config_digest
+from repro.parallel.store import canonical
+
+# -- digest stability (the "iff" forward direction) ------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-2**40, 2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=8), values, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_kwarg_order_never_matters(parts):
+    forward = config_digest(**parts)
+    backward = config_digest(
+        **{k: parts[k] for k in reversed(list(parts))}
+    )
+    assert forward == backward
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=6), values, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_dict_insertion_order_never_matters(mapping):
+    reversed_mapping = {k: mapping[k] for k in reversed(list(mapping))}
+    assert (config_digest(payload=mapping)
+            == config_digest(payload=reversed_mapping))
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+@settings(max_examples=100, deadline=None)
+def test_float_formatting_never_matters(x):
+    """Equal floats collide however they were spelled (1e3 vs 1000.0
+    vs float("1000")); unequal floats never do."""
+    respelled = float(repr(x))
+    assert config_digest(x=x) == config_digest(x=respelled)
+    nearby = x + (abs(x) * 1e-9 or 1e-300)
+    if nearby != x:
+        assert config_digest(x=x) != config_digest(x=nearby)
+
+
+@given(
+    st.integers(1, 64), st.integers(1, 32),
+    st.floats(0.01, 0.99), st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_value_differences_always_matter(d, c, frac, seed):
+    spec = ClusterSpec(num_dservers=d, num_cservers=c,
+                       cache_fraction=frac, seed=seed)
+    base = config_digest(spec=spec)
+    bumped = ClusterSpec(num_dservers=d + 1, num_cservers=c,
+                         cache_fraction=frac, seed=seed)
+    assert config_digest(spec=bumped) != base
+
+
+def test_dataclass_default_elision():
+    """Spelling out a default collides with omitting it."""
+    implicit = ClusterSpec(num_dservers=8)
+    explicit = ClusterSpec(num_dservers=8, seed=ClusterSpec().seed)
+    assert config_digest(spec=implicit) == config_digest(spec=explicit)
+    assert canonical(implicit) == canonical(explicit)
+    assert "seed" not in canonical(implicit)
+
+
+def test_non_canonicalisable_raises():
+    with pytest.raises(ParallelError):
+        config_digest(bad=object())
+
+
+def test_set_and_bytes_canonicalisation():
+    assert config_digest(s={3, 1, 2}) == config_digest(s={1, 2, 3})
+    assert config_digest(b=b"\x01\x02") == config_digest(b=b"\x01\x02")
+    assert config_digest(b=b"\x01") != config_digest(b=b"\x02")
+
+
+# -- code fingerprint ------------------------------------------------------
+
+def test_comment_edit_keeps_fingerprint(tmp_path):
+    (tmp_path / "mod.py").write_text('"""Doc."""\nX = 1  # note\n')
+    before = code_fingerprint(tmp_path)
+    # code_fingerprint memoises per root; write a sibling tree instead
+    # of mutating in place to model "same tree, re-fingerprinted".
+    other = tmp_path / "copy"
+    other.mkdir()
+    (other / "mod.py").write_text('"""Changed docstring."""\nX = 1\n')
+    assert code_fingerprint(other) == before
+
+
+def test_semantic_edit_changes_fingerprint(tmp_path):
+    (tmp_path / "mod.py").write_text("X = 1\n")
+    before = code_fingerprint(tmp_path)
+    other = tmp_path / "copy"
+    other.mkdir()
+    (other / "mod.py").write_text("X = 2\n")
+    assert code_fingerprint(other) != before
+
+
+def test_unparsable_module_still_fingerprints(tmp_path):
+    (tmp_path / "mod.py").write_text("def broken(:\n")
+    a = code_fingerprint(tmp_path)
+    other = tmp_path / "copy"
+    other.mkdir()
+    (other / "mod.py").write_text("def broken(::\n")
+    assert code_fingerprint(other) != a
+
+
+# -- store round-trip ------------------------------------------------------
+
+def test_get_returns_fresh_copies(tmp_path):
+    with ResultStore(tmp_path) as store:
+        digest = config_digest(k="fresh")
+        store.put(digest, {"notes": []})
+        first = store.get(digest)
+        first["notes"].append("mutated by caller")
+        assert store.get(digest) == {"notes": []}
+
+
+def test_round_trip_across_process_boundary(tmp_path):
+    """A value stored by another interpreter is readable here (and
+    vice versa) — the cache is a real cross-process artefact."""
+    digest = config_digest(kind="xproc", x=1.5)
+    writer = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.parallel import ResultStore, config_digest\n"
+        "with ResultStore(sys.argv[2]) as s:\n"
+        "    s.put(config_digest(kind='xproc', x=1.5),"
+        " {'series': [1, 2, 3]})\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", writer, "src", str(tmp_path)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    with ResultStore(tmp_path) as store:
+        assert store.get(digest) == {"series": [1, 2, 3]}
+        assert store.hits == 1
+
+
+def test_stats_gc_clear(tmp_path):
+    with ResultStore(tmp_path, code_fp="old" * 10) as stale_store:
+        stale_store.put(config_digest(k=1), "stale")
+    with ResultStore(tmp_path) as store:
+        store.put(config_digest(k=2), "current")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["current_revision_entries"] == 1
+        assert stats["stale_revision_entries"] == 1
+        assert store.gc() == 1
+        assert store.stats()["entries"] == 1
+        assert store.get(config_digest(k=2)) == "current"
+        store.clear()
+        assert store.stats()["entries"] == 0
+
+
+def test_store_version_namespaces_digests():
+    from repro.parallel import store as store_module
+
+    base = config_digest(x=1)
+    bumped = store_module.STORE_VERSION + 1
+    original = store_module.STORE_VERSION
+    try:
+        store_module.STORE_VERSION = bumped
+        assert config_digest(x=1) != base
+    finally:
+        store_module.STORE_VERSION = original

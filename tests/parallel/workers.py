@@ -17,6 +17,24 @@ def crash_on_three(payload: int) -> int:
     return payload * 10
 
 
+def die_hard_on_three(payload: int) -> int:
+    """A hard death: the process exits without a traceback message."""
+    if payload == 3:
+        import os
+
+        os._exit(17)
+    return payload * 10
+
+
+def uneven_sleep_square(payload) -> int:
+    """Heterogeneous unit cost: payload is (value, sleep_seconds)."""
+    import time
+
+    value, naptime = payload
+    time.sleep(naptime)
+    return value * value
+
+
 def seeded_draws(payload) -> list[float]:
     """Per-task seeded RNG: results depend on the payload seed only."""
     from repro.sim.rng import RandomStreams
